@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/datavol"
+	"repro/internal/lb"
+	"repro/internal/pareto"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/schedio"
+	"repro/internal/soc"
+	"repro/internal/socfile"
+	"repro/internal/tamsim"
+	"repro/internal/wrapper"
+	"repro/internal/wrapperrtl"
+)
+
+// Re-exported core types: the data model, the scheduler's inputs/outputs,
+// and the Problem-3 sweep results.
+type (
+	// SOC is a system-on-chip test description.
+	SOC = soc.SOC
+	// Core is one embedded core.
+	Core = soc.Core
+	// Test is a core's test description.
+	Test = soc.Test
+	// Precedence expresses "Before completes before After begins".
+	Precedence = soc.Precedence
+	// Concurrency expresses "A and B never run together".
+	Concurrency = soc.Concurrency
+	// Options tunes one scheduling run (TAM width, α/δ, preemption,
+	// power budget, heuristic toggles).
+	Options = sched.Params
+	// TestSchedule is a completed schedule with per-core assignments and
+	// the wire-level packed bin.
+	TestSchedule = sched.Schedule
+	// CoreAssignment is one core's disposition in a schedule.
+	CoreAssignment = sched.Assignment
+	// WrapperDesign is a core's wrapper configuration at one TAM width.
+	WrapperDesign = wrapper.Design
+	// ParetoSet is a core's Pareto-optimal (width, time) set.
+	ParetoSet = pareto.Set
+	// WidthSweep holds T(W) and D(W) over a range of TAM widths.
+	WidthSweep = datavol.Sweep
+	// EffectiveWidth is a Problem-3 outcome: the width minimizing C(γ,·).
+	EffectiveWidth = datavol.Effective
+	// SimulationResult is the outcome of replaying a schedule on the
+	// simulated ATE + TAM + wrappers.
+	SimulationResult = tamsim.Result
+)
+
+// Test kinds.
+const (
+	ScanTest = soc.ScanTest
+	BISTTest = soc.BISTTest
+)
+
+// DefaultMaxWidth is the per-core TAM width cap (the paper's 64).
+const DefaultMaxWidth = sched.DefaultMaxWidth
+
+// Schedule computes a test schedule for the SOC with the given options.
+// Zero-valued option fields take the paper's defaults.
+func Schedule(s *SOC, opts Options) (*TestSchedule, error) {
+	return sched.Run(s, opts)
+}
+
+// ScheduleBest sweeps the (α, δ) parameter grid and returns the schedule
+// with the smallest SOC testing time.
+func ScheduleBest(s *SOC, opts Options) (*TestSchedule, error) {
+	return sched.SweepBest(s, opts, nil, nil)
+}
+
+// VerifySchedule re-derives every schedule invariant (packing, timing
+// model, constraints) from first principles.
+func VerifySchedule(s *SOC, sch *TestSchedule) error {
+	return sched.Verify(s, sch)
+}
+
+// Simulate replays a schedule on the simulated tester: wire-level TAM
+// occupancy, ATE vector memory, and bit-accurate wrapper shifting for
+// affordably-sized cores.
+func Simulate(s *SOC, sch *TestSchedule) (*SimulationResult, error) {
+	return tamsim.Simulate(s, sch, tamsim.Options{})
+}
+
+// DesignWrapper designs a core's test wrapper for the given TAM width
+// (the paper's Design_wrapper, Best-Fit-Decreasing).
+func DesignWrapper(c *Core, width int) (*WrapperDesign, error) {
+	return wrapper.DesignWrapper(c, width)
+}
+
+// ComputePareto returns the core's Pareto-optimal (width, time) set for
+// widths 1..maxWidth.
+func ComputePareto(c *Core, maxWidth int) (*ParetoSet, error) {
+	return pareto.Compute(c, maxWidth)
+}
+
+// LowerBound returns the scheduling lower bound LB(W) = max(⌈A/W⌉,
+// bottleneck) for the SOC at TAM width w.
+func LowerBound(s *SOC, w int) (int64, error) {
+	b, err := lb.Compute(s, w, DefaultMaxWidth)
+	if err != nil {
+		return 0, err
+	}
+	return b.Value(), nil
+}
+
+// SweepWidths schedules the SOC at every TAM width in [lo, hi] and returns
+// the T(W)/D(W) sweep behind the paper's Fig. 9 and Table 2.
+func SweepWidths(s *SOC, lo, hi int) (*WidthSweep, error) {
+	return datavol.Run(s, datavol.Config{WidthLo: lo, WidthHi: hi})
+}
+
+// PickEffectiveWidth minimizes the normalized cost C(γ,W) over a sweep.
+func PickEffectiveWidth(sw *WidthSweep, gamma float64) (EffectiveWidth, error) {
+	return sw.EffectiveWidth(gamma)
+}
+
+// PreemptionPolicy builds the paper's preemption setting: a budget of n
+// preemptions for the larger cores (minimum testing time at or above the
+// median), none for the rest.
+func PreemptionPolicy(s *SOC, n int) (map[int]int, error) {
+	return sched.LargerCorePreemptions(s, DefaultMaxWidth, n)
+}
+
+// PowerBudget returns a power budget scaled from the largest single-test
+// power (factorPct percent of it; 110 reproduces the paper-style Table 1
+// power column).
+func PowerBudget(s *SOC, factorPct int) int {
+	return sched.DefaultPowerBudget(s, factorPct)
+}
+
+// BenchmarkSOC returns one of the built-in benchmark SOCs: "d695",
+// "p22810like", "p34392like", "p93791like", or "demo8". It panics on an
+// unknown name (programmer error); use bench.ByName for error handling.
+func BenchmarkSOC(name string) *SOC {
+	s, err := bench.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LoadSOC parses an SOC description file (.soc grammar; see package
+// socfile).
+func LoadSOC(path string) (*SOC, error) {
+	return socfile.ParseFile(path)
+}
+
+// ReadSOC parses an SOC description from a reader.
+func ReadSOC(r io.Reader) (*SOC, error) {
+	return socfile.Parse(r)
+}
+
+// WriteSOC serializes an SOC description to a writer.
+func WriteSOC(w io.Writer, s *SOC) error {
+	return socfile.Write(w, s)
+}
+
+// Gantt renders an ASCII Gantt chart of the schedule (the paper's Fig. 2
+// bin view) with the given character width (0 = default).
+func Gantt(w io.Writer, sch *TestSchedule, cols int) error {
+	return report.Gantt(w, sch, cols)
+}
+
+// GanttSVG renders the packed bin as an SVG document.
+func GanttSVG(w io.Writer, sch *TestSchedule) error {
+	return report.SVG(w, sch)
+}
+
+// FormatAssignment summarizes one core's assignment for logs.
+func FormatAssignment(a *CoreAssignment) string {
+	return fmt.Sprintf("core %d: width %d, [%d,%d), %d piece(s), %d preemption(s)",
+		a.CoreID, a.Width, a.Start(), a.End(), len(a.Pieces), a.Preemptions)
+}
+
+// WrapperRTL is the elaborated IEEE 1500-style structural wrapper for one
+// core at one TAM width.
+type WrapperRTL = wrapperrtl.Module
+
+// ElaborateWrapper turns a wrapper design into structural hardware: WIR,
+// bypass, and per-wire wrapper chains. Use its WriteVerilog method to emit
+// a structural Verilog module.
+func ElaborateWrapper(c *Core, d *WrapperDesign) (*WrapperRTL, error) {
+	return wrapperrtl.Elaborate(c, d)
+}
+
+// SaveSchedule serializes a schedule as versioned JSON for downstream
+// tools (ATE program generators, dashboards).
+func SaveSchedule(w io.Writer, sch *TestSchedule) error {
+	return schedio.Save(w, sch)
+}
+
+// LoadSchedule reads a serialized schedule and re-verifies it against the
+// SOC it was produced for; tampered or mismatched files are rejected.
+func LoadSchedule(r io.Reader, s *SOC) (*TestSchedule, error) {
+	return schedio.Load(r, s)
+}

@@ -1,0 +1,233 @@
+package repro
+
+// One benchmark per table and figure of the DAC 2002 paper, plus the
+// ablations DESIGN.md calls out. Each benchmark regenerates its artifact
+// end-to-end (wrapper design, Pareto sets, scheduling, sweeps), so
+// `go test -bench=. -benchmem` both measures the framework's runtime —
+// the paper's "<5 s on a 333 MHz Ultra 10" claim class — and re-derives
+// the numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/datavol"
+	"repro/internal/experiments"
+	"repro/internal/lb"
+	"repro/internal/pareto"
+	"repro/internal/sched"
+	"repro/internal/tamsim"
+	"repro/internal/wrapper"
+)
+
+// table1Percents is a mid-size grid: large enough to land near the
+// recorded results, small enough for iterating benchmarks.
+var table1Percents = []int{1, 5, 10, 20, 40}
+var table1Deltas = []int{0, 1, 2}
+
+// BenchmarkTable1 regenerates one Table 1 block (all four regimes at the
+// paper's widths) per benchmark SOC.
+func BenchmarkTable1D695(b *testing.B)   { benchTable1(b, "d695") }
+func BenchmarkTable1P22810(b *testing.B) { benchTable1(b, "p22810like") }
+func BenchmarkTable1P34392(b *testing.B) { benchTable1(b, "p34392like") }
+func BenchmarkTable1P93791(b *testing.B) { benchTable1(b, "p93791like") }
+
+func benchTable1(b *testing.B, name string) {
+	s, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(s, table1Percents, table1Deltas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig1ParetoStaircase regenerates Fig. 1: the testing-time
+// staircase and Pareto points of p93791like's engineered Core 6.
+func BenchmarkFig1ParetoStaircase(b *testing.B) {
+	s := bench.P93791Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig1(s, 6, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[46].Time != 114317 {
+			b.Fatalf("plateau = %d", pts[46].Time)
+		}
+	}
+}
+
+// BenchmarkFig9SweepP22810 regenerates the Fig. 9(a)-(d) sweep for the
+// p22810 stand-in (T, D and cost curves share one sweep). A reduced width
+// range and grid keep one iteration around a second; socbench runs the
+// full-resolution version.
+func BenchmarkFig9SweepP22810(b *testing.B) {
+	s := bench.P22810Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f9, err := experiments.Fig9Sweep(s, 12, 72, []int{1, 10, 30}, []int{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f9.Sweep.MinVolume <= 0 {
+			b.Fatal("no volume minimum")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates a Table 2 block (minima plus γ rows) per
+// SOC, from a reduced-resolution sweep.
+func BenchmarkTable2D695(b *testing.B)   { benchTable2(b, "d695") }
+func BenchmarkTable2P34392(b *testing.B) { benchTable2(b, "p34392like") }
+
+func benchTable2(b *testing.B, name string) {
+	s, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f9, err := experiments.Fig9Sweep(s, 12, 64, []int{1, 10, 30}, []int{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiments.Table2(f9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationDelta regenerates the §6 p34392 bottleneck narrative.
+func BenchmarkAblationDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDelta(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblationBaselines compares flexible packing against the
+// fixed-width and shelf architectures on d695.
+func BenchmarkAblationBaselines(b *testing.B) {
+	s := bench.D695()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Baselines(s, []int{16, 32, 64}, 3, table1Percents, table1Deltas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblationHeuristics measures the idle-insertion / widening
+// on-off matrix on d695.
+func BenchmarkAblationHeuristics(b *testing.B) {
+	s := bench.D695()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHeuristics(s, []int{32}, table1Percents, table1Deltas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks: the pieces the paper times implicitly ---
+
+// BenchmarkSingleSchedule measures one scheduler run (the unit the paper's
+// "<5 s total CPU time" claim is built from) on the largest SOC.
+func BenchmarkSingleScheduleP93791(b *testing.B) {
+	s := bench.P93791Like()
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Run(sched.Params{TAMWidth: 48, Percent: 10, Delta: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesignWrapper measures the BFD wrapper design of the biggest
+// d695 core across its useful width range.
+func BenchmarkDesignWrapper(b *testing.B) {
+	c := bench.D695().Core(5) // s38584
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 1; w <= 64; w++ {
+			if _, err := wrapper.DesignWrapper(c, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParetoSets measures Pareto staircase construction for a full SOC.
+func BenchmarkParetoSets(b *testing.B) {
+	s := bench.P93791Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pareto.ComputeAll(s, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerBound measures the Table 1 LB column computation.
+func BenchmarkLowerBound(b *testing.B) {
+	s := bench.P93791Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lb.Compute(s, 48, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateD695 measures the full ATE/TAM replay with bit-level
+// wrapper shifting.
+func BenchmarkSimulateD695(b *testing.B) {
+	s := bench.D695()
+	sch, err := sched.SweepBest(s, sched.Params{TAMWidth: 32}, []int{10}, []int{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tamsim.Simulate(s, sch, tamsim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWidthSweepDemo measures a Problem-3 width sweep on the demo SOC.
+func BenchmarkWidthSweepDemo(b *testing.B) {
+	s := bench.Demo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datavol.Run(s, datavol.Config{
+			WidthLo: 8, WidthHi: 32,
+			Percents: []int{5, 15}, Deltas: []int{0, 1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

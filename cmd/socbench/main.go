@@ -1,0 +1,270 @@
+// Command socbench regenerates the DAC 2002 paper's evaluation artifacts
+// on the repository's benchmark SOCs: Table 1 (scheduling regimes), Table 2
+// (effective TAM widths), Fig. 1 (testing-time staircase), Fig. 9 (T/D/cost
+// versus W), and the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	socbench -table 1                 # Table 1 for all four SOCs
+//	socbench -table 2 -soc d695       # Table 2 block for one SOC
+//	socbench -fig 1                   # Fig. 1 staircase (CSV)
+//	socbench -fig 9a -soc p22810like  # Fig. 9(a): T vs W (CSV)
+//	socbench -ablation delta          # δ-heuristic ablation on p34392like
+//	socbench -ablation baseline       # flexible vs fixed-width vs shelves
+//	socbench -ablation heuristics     # idle-insertion / widening matrix
+//	socbench -all                     # everything (the EXPERIMENTS.md data)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/soc"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "regenerate a table: 1 or 2")
+		fig      = flag.String("fig", "", "regenerate a figure: 1, 9a, 9b, 9c, 9d")
+		ablation = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
+		socName  = flag.String("soc", "", "restrict to one SOC (default: all four)")
+		quick    = flag.Bool("quick", false, "smaller sweep ranges (coarser widths, reduced grid)")
+		all      = flag.Bool("all", false, "regenerate everything")
+	)
+	flag.Parse()
+
+	socs, err := pickSOCs(*socName)
+	if err != nil {
+		fatal(err)
+	}
+
+	ran := false
+	if *all || *table == "1" {
+		ran = true
+		runTable1(socs)
+	}
+	if *all || *table == "2" {
+		ran = true
+		runTable2(socs, *quick)
+	}
+	if *all || *fig == "1" {
+		ran = true
+		runFig1()
+	}
+	if *all || *fig == "9a" || *fig == "9b" || *fig == "9c" || *fig == "9d" {
+		ran = true
+		which := *fig
+		if *all {
+			which = ""
+		}
+		runFig9(socs, which, *quick)
+	}
+	if *all || *ablation == "delta" {
+		ran = true
+		runAblationDelta()
+	}
+	if *all || *ablation == "baseline" {
+		ran = true
+		runAblationBaseline(socs)
+	}
+	if *all || *ablation == "heuristics" {
+		ran = true
+		runAblationHeuristics(socs)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pickSOCs(name string) ([]*soc.SOC, error) {
+	if name == "" {
+		return bench.All(), nil
+	}
+	s, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*soc.SOC{s}, nil
+}
+
+func runTable1(socs []*soc.SOC) {
+	t := &report.Table{
+		Title:   "Table 1: wrapper/TAM co-optimization and test scheduling (cycles)",
+		Headers: []string{"SOC", "W", "lower bound", "non-preemptive", "preemptive", "preempt+power", "power budget"},
+	}
+	for _, s := range socs {
+		rows, err := experiments.Table1(s, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			t.AddRow(r.SOC, r.TAMWidth, r.LowerBound, r.NonPreemptive, r.Preemptive, r.PowerConstrained, r.PowerMax)
+		}
+	}
+	mustRender(t)
+}
+
+func runTable2(socs []*soc.SOC, quick bool) {
+	lo, hi := 4, 80
+	if quick {
+		lo, hi = 8, 72
+	}
+	for _, s := range socs {
+		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.Table2(f9)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nTable 2 [%s]: T_min=%d at W=%d; D_min=%d bits at W=%d\n",
+			res.SOC, res.MinTime, res.MinTimeWidth, res.MinVolume, res.MinVolumeWidth)
+		t := &report.Table{
+			Headers: []string{"gamma", "C_min", "W_eff", "T at W_eff", "D at W_eff"},
+		}
+		for _, r := range res.Rows {
+			t.AddRow(fmt.Sprintf("%.2f", r.Gamma), fmt.Sprintf("%.3f", r.CostMin), r.WEff, r.TimeAtW, r.VolAtW)
+		}
+		mustRender(t)
+	}
+}
+
+func runFig1() {
+	s := bench.P93791Like()
+	pts, err := experiments.Fig1(s, 6, 64)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Fig 1: testing time vs TAM width, p93791like core 6 (CSV)")
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{fmt.Sprint(p.Width), fmt.Sprint(p.Time), fmt.Sprint(p.Pareto)})
+	}
+	if err := report.WriteCSV(os.Stdout, []string{"width", "cycles", "pareto"}, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func runFig9(socs []*soc.SOC, which string, quick bool) {
+	lo, hi := 4, 80
+	if quick {
+		lo, hi = 8, 72
+	}
+	for _, s := range socs {
+		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil)
+		if err != nil {
+			fatal(err)
+		}
+		sw := f9.Sweep
+		if which == "" || which == "9a" {
+			fmt.Printf("\nFig 9(a) [%s]: testing time vs W (CSV)\n", s.Name)
+			var rows [][]string
+			for _, p := range sw.Samples {
+				rows = append(rows, []string{fmt.Sprint(p.TAMWidth), fmt.Sprint(p.Time)})
+			}
+			mustCSV([]string{"W", "T_cycles"}, rows)
+		}
+		if which == "" || which == "9b" {
+			fmt.Printf("\nFig 9(b) [%s]: tester data volume vs W (CSV)\n", s.Name)
+			var rows [][]string
+			for _, p := range sw.Samples {
+				rows = append(rows, []string{fmt.Sprint(p.TAMWidth), fmt.Sprint(p.Volume)})
+			}
+			mustCSV([]string{"W", "D_bits"}, rows)
+		}
+		for _, g := range []struct {
+			key   string
+			gamma float64
+		}{{"9c", 0.5}, {"9d", 0.75}} {
+			if which != "" && which != g.key {
+				continue
+			}
+			fmt.Printf("\nFig 9(%s) [%s]: cost C(γ=%.2f) vs W (CSV)\n", g.key[1:], s.Name, g.gamma)
+			var rows [][]string
+			for _, p := range sw.CostCurve(g.gamma) {
+				rows = append(rows, []string{fmt.Sprint(p.TAMWidth), fmt.Sprintf("%.4f", p.Cost)})
+			}
+			mustCSV([]string{"W", "C"}, rows)
+		}
+	}
+}
+
+func runAblationDelta() {
+	rows, err := experiments.AblationDelta(10)
+	if err != nil {
+		fatal(err)
+	}
+	t := &report.Table{
+		Title:   "Ablation: δ bottleneck-rescue on p34392like (α=10)",
+		Headers: []string{"W", "makespan δ=0", "makespan δ swept", "core18 pref δ=0", "core18 pref best δ"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.TAMWidth, r.MakespanDelta0, r.MakespanDeltaSwept, r.BottleneckPrefDelta0, r.BottleneckPrefDeltaBest)
+	}
+	mustRender(t)
+}
+
+func runAblationBaseline(socs []*soc.SOC) {
+	t := &report.Table{
+		Title:   "Ablation: flexible-width packing vs fixed-width TAMs vs shelf packing (cycles)",
+		Headers: []string{"SOC", "W", "flexible", "fixed-width", "buses", "NFDH", "FFDH"},
+	}
+	for _, s := range socs {
+		rows, err := experiments.Baselines(s, nil, 3, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			t.AddRow(r.SOC, r.TAMWidth, r.Flexible, r.FixedWidth, fmt.Sprint(r.FixedBuses), r.NFDH, r.FFDH)
+		}
+	}
+	mustRender(t)
+}
+
+func runAblationHeuristics(socs []*soc.SOC) {
+	t := &report.Table{
+		Title:   "Ablation: idle-time insertion and width-growing heuristics (cycles)",
+		Headers: []string{"SOC", "W", "full", "no insertion", "no widening", "neither"},
+	}
+	for _, s := range socs {
+		rows, err := experiments.AblationHeuristics(s, nil, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			t.AddRow(r.SOC, r.TAMWidth, r.Full, r.NoInsert, r.NoWiden, r.Neither)
+		}
+	}
+	mustRender(t)
+}
+
+func grid(quick bool) []int {
+	if quick {
+		return []int{1, 4, 10, 20, 40}
+	}
+	return nil
+}
+
+func mustRender(t *report.Table) {
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func mustCSV(headers []string, rows [][]string) {
+	if err := report.WriteCSV(os.Stdout, headers, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socbench:", err)
+	os.Exit(1)
+}

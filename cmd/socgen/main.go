@@ -1,0 +1,135 @@
+// Command socgen writes benchmark or synthetic SOC test descriptions as
+// .soc files (the grammar of package socfile), so they can be inspected,
+// edited, and fed back to soctest.
+//
+// Usage:
+//
+//	socgen -soc d695 -o d695.soc          # dump a built-in benchmark
+//	socgen -all -dir ./socs               # dump all benchmarks
+//	socgen -random -cores 24 -seed 7      # generate a random SOC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/soc"
+	"repro/internal/socfile"
+)
+
+func main() {
+	var (
+		socName = flag.String("soc", "", "built-in SOC to dump (d695, p22810like, p34392like, p93791like, demo8)")
+		out     = flag.String("o", "", "output file (default: <name>.soc)")
+		all     = flag.Bool("all", false, "dump every built-in benchmark")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		random  = flag.Bool("random", false, "generate a random synthetic SOC instead")
+		cores   = flag.Int("cores", 16, "core count for -random")
+		seed    = flag.Int64("seed", 1, "random seed for -random")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, s := range bench.All() {
+			path := filepath.Join(*dir, s.Name+".soc")
+			if err := socfile.WriteFile(path, s); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *random:
+		s := randomSOC(*cores, *seed)
+		path := *out
+		if path == "" {
+			path = s.Name + ".soc"
+		}
+		if err := socfile.WriteFile(path, s); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	case *socName != "":
+		s, err := bench.ByName(*socName)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = s.Name + ".soc"
+		}
+		if err := socfile.WriteFile(path, s); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// randomSOC generates a plausible synthetic SOC: a mix of combinational
+// glue, small and large scan cores, and a couple of BIST memories.
+func randomSOC(n int, seed int64) *soc.SOC {
+	rng := rand.New(rand.NewSource(seed))
+	s := &soc.SOC{Name: fmt.Sprintf("rand%d", n)}
+	for id := 1; id <= n; id++ {
+		c := &soc.Core{
+			ID:   id,
+			Name: fmt.Sprintf("core%d", id),
+			Test: soc.Test{BISTEngine: -1},
+		}
+		switch k := rng.Intn(10); {
+		case k < 2: // combinational glue
+			c.Inputs = 20 + rng.Intn(120)
+			c.Outputs = 10 + rng.Intn(80)
+			c.Test.Patterns = 30 + rng.Intn(300)
+		case k < 4: // BIST memory
+			c.Inputs = 8 + rng.Intn(20)
+			c.Outputs = 4 + rng.Intn(16)
+			nc := 1 + rng.Intn(4)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, 80+rng.Intn(200))
+			}
+			c.Test.Patterns = 100 + rng.Intn(300)
+			c.Test.Kind = soc.BISTTest
+			c.Test.BISTEngine = rng.Intn(2)
+		case k < 8: // small-to-medium scan core
+			c.Inputs = 15 + rng.Intn(60)
+			c.Outputs = 10 + rng.Intn(50)
+			nc := 2 + rng.Intn(10)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, 30+rng.Intn(150))
+			}
+			c.Test.Patterns = 50 + rng.Intn(250)
+		default: // large scan core
+			c.Inputs = 30 + rng.Intn(80)
+			c.Outputs = 25 + rng.Intn(70)
+			nc := 12 + rng.Intn(28)
+			l := 90 + rng.Intn(140)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, l+rng.Intn(8))
+			}
+			c.Test.Patterns = 120 + rng.Intn(320)
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	// A couple of precedence edges: memories (BIST) before the last core.
+	for _, c := range s.Cores {
+		if c.Test.Kind == soc.BISTTest && c.ID != n {
+			s.Precedences = append(s.Precedences, soc.Precedence{Before: c.ID, After: n})
+		}
+	}
+	if err := s.Validate(); err != nil {
+		panic(err) // generator invariant
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socgen:", err)
+	os.Exit(1)
+}

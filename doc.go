@@ -1,0 +1,33 @@
+// Package repro is an open-source reproduction of "Wrapper/TAM
+// Co-Optimization, Constraint-Driven Test Scheduling, and Tester Data
+// Volume Reduction for SOCs" (Iyengar, Chakrabarty, Marinissen — DAC 2002):
+// an integrated framework for modular system-on-chip test automation.
+//
+// The framework solves three coupled problems:
+//
+//   - Problem 1 — wrapper/TAM co-optimization: design a test wrapper for
+//     every embedded core, choose a Pareto-optimal TAM width per core, and
+//     schedule all core tests on the SOC's W TAM wires by generalized
+//     rectangle packing (rectangles may occupy non-contiguous wires:
+//     TAM fork-and-merge).
+//   - Problem 2 — constraint-driven preemptive scheduling: the same, under
+//     precedence constraints, concurrency constraints (including implicit
+//     parent/child Intest-vs-Extest exclusion), a power budget, BIST-engine
+//     conflicts, and selective test preemption with per-core limits.
+//   - Problem 3 — tester data volume: sweep W, observe testing time T(W)
+//     and tester data volume D(W) = W·T(W), and pick the "effective" TAM
+//     width minimizing C(γ,W) = γ·T/T_min + (1−γ)·D/D_min.
+//
+// Quick start:
+//
+//	s := repro.BenchmarkSOC("d695")
+//	sch, err := repro.Schedule(s, repro.Options{TAMWidth: 32})
+//	if err != nil { ... }
+//	fmt.Println(sch.Makespan) // SOC testing time in cycles
+//
+// The heavy lifting lives in the internal packages (soc, wrapper, pareto,
+// rect, constraint, sched, lb, datavol, bist, pattern, tamsim, baseline,
+// bench, report, experiments); this package re-exports the surface a
+// downstream user needs. The cmd/ tools regenerate every table and figure
+// of the paper; see DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,104 @@
+// Customsoc: build an SOC programmatically, round-trip it through the
+// .soc file format, inspect a core's wrapper design and Pareto staircase,
+// schedule it, and replay the schedule bit-by-bit on the simulated tester.
+// This is the end-to-end path a downstream integrator follows for their
+// own chip.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	// An SOC under integration: a controller with an embedded accelerator,
+	// two memories behind one BIST engine, and combinational glue.
+	s := &repro.SOC{
+		Name: "mychip",
+		Cores: []*repro.Core{
+			{
+				ID: 1, Name: "ctrl", Inputs: 40, Outputs: 36, Bidirs: 4,
+				ScanChains: []int{120, 120, 110, 110},
+				Test:       repro.Test{Patterns: 180, BISTEngine: -1},
+			},
+			{
+				ID: 2, Name: "accel", Parent: 1, Inputs: 28, Outputs: 24,
+				ScanChains: []int{90, 90, 88, 88, 86, 86},
+				Test:       repro.Test{Patterns: 150, BISTEngine: -1},
+			},
+			{
+				ID: 3, Name: "mem0", Inputs: 12, Outputs: 8,
+				ScanChains: []int{200},
+				Test:       repro.Test{Patterns: 220, Kind: repro.BISTTest, BISTEngine: 0},
+			},
+			{
+				ID: 4, Name: "mem1", Inputs: 12, Outputs: 8,
+				ScanChains: []int{200},
+				Test:       repro.Test{Patterns: 220, Kind: repro.BISTTest, BISTEngine: 0},
+			},
+			{
+				ID: 5, Name: "glue", Inputs: 64, Outputs: 48,
+				Test: repro.Test{Patterns: 90, BISTEngine: -1},
+			},
+		},
+		// Memories first, so later system tests can use them.
+		Precedences: []repro.Precedence{{Before: 3, After: 1}, {Before: 4, After: 1}},
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip through the .soc text format.
+	var buf bytes.Buffer
+	if err := repro.WriteSOC(&buf, s); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "mychip.soc")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := repro.LoadSOC(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote and re-read %s (%d cores)\n\n", path, len(loaded.Cores))
+
+	// Wrapper design detail for the controller at 8 TAM wires.
+	d, err := repro.DesignWrapper(loaded.Core(1), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ctrl wrapper at width 8: si=%d so=%d, T=%d cycles\n", d.ScanInMax, d.ScanOutMax, d.TestTime())
+	for j, ch := range d.Chains {
+		fmt.Printf("  wrapper chain %d: %d scan chain(s), %d scan bits, %d/%d/%d in/out/bidir cells\n",
+			j, len(ch.ScanChains), ch.ScanBits, ch.InputCells, ch.OutputCells, ch.BidirCells)
+	}
+
+	// The Pareto staircase: only these widths are worth assigning.
+	ps, err := repro.ComputePareto(loaded.Core(1), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nctrl Pareto-optimal (width, time) points:")
+	for _, p := range ps.Points {
+		fmt.Printf("  w=%-3d T=%d\n", p.Width, p.Time)
+	}
+
+	// Schedule and simulate.
+	sch, err := repro.ScheduleBest(loaded, repro.Options{TAMWidth: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule at W=16: %d cycles, %.1f%% TAM utilization\n", sch.Makespan, 100*sch.Utilization())
+	res, err := repro.Simulate(loaded, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %d/%d cores bit-verified, %d payload bits, per-pin depth %d\n",
+		res.BitLevelCores, len(res.Cores), res.PayloadBits, res.PerPinDepth)
+}

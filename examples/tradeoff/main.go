@@ -1,0 +1,58 @@
+// Tradeoff: the paper's Problem 3 — sweep the SOC TAM width, watch testing
+// time T(W) fall and tester data volume D(W) = W·T(W) wander, and pick the
+// "effective" TAM width that minimizes the normalized cost
+// C(γ,W) = γ·T/T_min + (1−γ)·D/D_min for several γ settings. This is the
+// analysis behind the paper's Fig. 9 and Table 2, motivated by multisite
+// testing: narrower TAMs with bounded per-pin memory let one tester test
+// more chips in parallel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	s := repro.BenchmarkSOC("d695")
+
+	sweep, err := repro.SweepWidths(s, 8, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SOC %s width sweep (W = 8..64):\n", s.Name)
+	fmt.Printf("  minimum testing time  T_min = %d cycles at W = %d\n", sweep.MinTime, sweep.MinTimeWidth)
+	fmt.Printf("  minimum data volume   D_min = %d bits   at W = %d\n\n", sweep.MinVolume, sweep.MinVolumeWidth)
+
+	fmt.Println("  W    T(W) cycles   D(W) bits")
+	for _, p := range sweep.Samples {
+		if p.TAMWidth%8 != 0 {
+			continue // print every 8th point; the full series feeds Fig. 9
+		}
+		fmt.Printf("  %-4d %-13d %d\n", p.TAMWidth, p.Time, p.Volume)
+	}
+
+	fmt.Println("\neffective TAM widths (Table 2 analysis):")
+	fmt.Println("  gamma  C_min   W_eff  T(W_eff)  D(W_eff)")
+	for _, gamma := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		eff, err := repro.PickEffectiveWidth(sweep, gamma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6.2f %-7.3f %-6d %-9d %d\n", gamma, eff.CostMin, eff.TAMWidth, eff.Time, eff.Volume)
+	}
+
+	// Multisite reading: with a 512-pin tester and a 16 Mbit per-pin
+	// buffer, how many d695 dies can one tester run in parallel at the
+	// γ=0.5 effective width?
+	eff, err := repro.PickEffectiveWidth(sweep, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites := 512 / eff.TAMWidth
+	fmt.Printf("\nmultisite: at W_eff=%d, a 512-pin tester tests %d dies in parallel\n", eff.TAMWidth, sites)
+	fmt.Printf("(per-pin vector depth %d bits fits a 16 Mbit buffer %.1fx over)\n",
+		eff.Time, 16.0*1024*1024/float64(eff.Time))
+}

@@ -1,0 +1,84 @@
+package repro
+
+// End-to-end integration tests across module boundaries: every benchmark
+// SOC survives a full pipeline pass — serialize to .soc text, re-parse,
+// schedule, verify, replay on the simulated ATE, serialize the schedule to
+// JSON, reload, and re-verify. This is the path a downstream user's CI
+// would exercise.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/tamsim"
+	"repro/internal/wrapperrtl"
+)
+
+func TestFullPipelineEveryBenchmark(t *testing.T) {
+	for _, name := range []string{"d695", "p22810like", "p34392like", "p93791like", "demo8"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// SOC text round trip.
+			var socText bytes.Buffer
+			if err := WriteSOC(&socText, orig); err != nil {
+				t.Fatal(err)
+			}
+			s, err := ReadSOC(&socText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Cores) != len(orig.Cores) {
+				t.Fatalf("round trip lost cores: %d vs %d", len(s.Cores), len(orig.Cores))
+			}
+
+			// Schedule on the re-parsed SOC (small grid keeps CI fast).
+			sch, err := Schedule(s, Options{TAMWidth: 24, Percent: 10, Delta: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifySchedule(s, sch); err != nil {
+				t.Fatal(err)
+			}
+
+			// ATE replay (cycle-level everywhere; bit-level where small).
+			if _, err := tamsim.Simulate(s, sch, tamsim.Options{BitLevelMaxBits: 300000}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Schedule JSON round trip re-verifies on load.
+			var schJSON bytes.Buffer
+			if err := SaveSchedule(&schJSON, sch); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadSchedule(&schJSON, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Makespan != sch.Makespan {
+				t.Fatalf("schedule round trip changed makespan: %d vs %d", loaded.Makespan, sch.Makespan)
+			}
+
+			// Every core's wrapper elaborates to consistent hardware.
+			for _, c := range s.Cores {
+				a := sch.Assignments[c.ID]
+				d, err := DesignWrapper(c, a.Width)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := wrapperrtl.Elaborate(c, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Validate(c, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

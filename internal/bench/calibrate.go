@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+	"repro/internal/soc"
+)
+
+// calibrationWidthCap is the per-core width cap used when measuring areas,
+// matching the paper's w_max = 64.
+const calibrationWidthCap = 64
+
+// calibrate adjusts the SOC in place until its total minimum rectangle
+// area A = Σ_i min_w w·T_i(w) equals target exactly. Three phases:
+//
+//  1. Proportional: scale the pattern counts of the adjustable cores by
+//     the ratio of the remaining gap.
+//  2. Greedy integer: repeatedly add/remove single patterns on the
+//     adjustable core whose per-pattern area step best fits the gap.
+//  3. Trim: close the final sub-pattern gap with the trim core, whose
+//     area is Inputs + 2·scanlen + 1 at one pattern — adjustable in unit
+//     steps via its input count.
+func calibrate(s *soc.SOC, target int64, adjustable []int, trimID int) error {
+	if trimID == 0 {
+		return fmt.Errorf("no trim core")
+	}
+	areas := make(map[int]int64, len(s.Cores))
+	var total int64
+	for _, c := range s.Cores {
+		a, err := minArea(c)
+		if err != nil {
+			return err
+		}
+		areas[c.ID] = a
+		total += a
+	}
+
+	// Phase 1: proportional pattern scaling.
+	var adjArea int64
+	for _, id := range adjustable {
+		adjArea += areas[id]
+	}
+	gap := target - total
+	if adjArea > 0 && gap != 0 {
+		factor := float64(adjArea+gap) / float64(adjArea)
+		if factor <= 0 {
+			return fmt.Errorf("target %d too small: adjustable area %d, fixed %d", target, adjArea, total-adjArea)
+		}
+		for _, id := range adjustable {
+			c := s.Core(id)
+			np := int(float64(c.Test.Patterns)*factor + 0.5)
+			if np < 1 {
+				np = 1
+			}
+			c.Test.Patterns = np
+			a, err := minArea(c)
+			if err != nil {
+				return err
+			}
+			total += a - areas[id]
+			areas[id] = a
+		}
+	}
+
+	// Phase 2: greedy single-pattern steps. Each iteration moves the total
+	// strictly toward the target or stops when no step fits.
+	for iter := 0; iter < 100000; iter++ {
+		gap = target - total
+		if gap == 0 {
+			break
+		}
+		bestID, bestStep := 0, int64(0)
+		for _, id := range adjustable {
+			c := s.Core(id)
+			dir := 1
+			if gap < 0 {
+				dir = -1
+				if c.Test.Patterns <= 1 {
+					continue
+				}
+			}
+			c.Test.Patterns += dir
+			a, err := minArea(c)
+			c.Test.Patterns -= dir
+			if err != nil {
+				return err
+			}
+			step := a - areas[id] // signed change in total
+			// Accept steps that reduce |gap| without crossing zero.
+			if gap > 0 && step > 0 && step <= gap && step > bestStep {
+				bestID, bestStep = id, step
+			}
+			if gap < 0 && step < 0 && step >= gap && step < bestStep {
+				bestID, bestStep = id, step
+			}
+		}
+		if bestID == 0 {
+			break // remaining gap smaller than any pattern step: trim phase
+		}
+		c := s.Core(bestID)
+		if gap > 0 {
+			c.Test.Patterns++
+		} else {
+			c.Test.Patterns--
+		}
+		a, err := minArea(c)
+		if err != nil {
+			return err
+		}
+		total += a - areas[bestID]
+		areas[bestID] = a
+	}
+
+	// Phase 3: trim core inputs. area = inputs + 2·L + 1 at w=1.
+	gap = target - total
+	trim := s.Core(trimID)
+	newInputs := trim.Inputs + int(gap)
+	maxInputs := 2 * trim.ScanBits() // keep min-area width at w=1
+	if newInputs < 0 || newInputs > maxInputs {
+		return fmt.Errorf("trim gap %d outside trim range [%d,%d] (inputs %d)",
+			gap, -trim.Inputs, maxInputs-trim.Inputs, trim.Inputs)
+	}
+	trim.Inputs = newInputs
+	a, err := minArea(trim)
+	if err != nil {
+		return err
+	}
+	total += a - areas[trimID]
+	if total != target {
+		return fmt.Errorf("calibration missed: area %d, target %d", total, target)
+	}
+	return nil
+}
+
+// minArea computes min_w w·T(w) for one core with the standard width cap.
+func minArea(c *soc.Core) (int64, error) {
+	ps, err := pareto.Compute(c, calibrationWidthCap)
+	if err != nil {
+		return 0, err
+	}
+	return ps.MinArea(), nil
+}
+
+// MeasuredArea reports Σ_i min_w w·T_i(w) for any SOC at the calibration
+// width cap — the quantity the synthetic SOCs are calibrated on.
+func MeasuredArea(s *soc.SOC) (int64, error) {
+	var total int64
+	for _, c := range s.Cores {
+		a, err := minArea(c)
+		if err != nil {
+			return 0, err
+		}
+		total += a
+	}
+	return total, nil
+}

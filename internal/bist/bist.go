@@ -1,0 +1,215 @@
+// Package bist provides the on-chip built-in self-test substrate the
+// framework's BIST-tested cores rely on: LFSR pattern generators, MISR
+// response compactors, and a registry of shared BIST engines whose
+// exclusive use creates the BIST–scan test conflicts the scheduler must
+// respect (Fig. 7, lines 10-11 of the paper).
+package bist
+
+import (
+	"fmt"
+)
+
+// LFSR is a Fibonacci linear-feedback shift register used as an on-chip
+// pseudo-random pattern source. Taps are bit positions (0 = LSB) whose XOR
+// feeds the input; state must never be all-zero.
+type LFSR struct {
+	width int
+	taps  []int
+	state uint64
+}
+
+// NewLFSR builds an LFSR of the given width (1..64) with the given taps.
+// seed must be non-zero in the low width bits.
+func NewLFSR(width int, taps []int, seed uint64) (*LFSR, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("bist: LFSR width %d outside 1..64", width)
+	}
+	mask := lfsrMask(width)
+	if seed&mask == 0 {
+		return nil, fmt.Errorf("bist: LFSR seed has no bits set within width %d", width)
+	}
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("bist: LFSR needs at least one tap")
+	}
+	for _, t := range taps {
+		if t < 0 || t >= width {
+			return nil, fmt.Errorf("bist: LFSR tap %d outside width %d", t, width)
+		}
+	}
+	return &LFSR{width: width, taps: append([]int(nil), taps...), state: seed & mask}, nil
+}
+
+// DefaultLFSR returns a 32-bit LFSR with a maximal-length tap set.
+func DefaultLFSR(seed uint64) *LFSR {
+	l, err := NewLFSR(32, []int{31, 21, 1, 0}, seed|1)
+	if err != nil {
+		panic(err) // static configuration: cannot fail
+	}
+	return l
+}
+
+func lfsrMask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Step advances the register one cycle and returns the output bit.
+func (l *LFSR) Step() uint64 {
+	out := l.state & 1
+	var fb uint64
+	for _, t := range l.taps {
+		fb ^= (l.state >> uint(t)) & 1
+	}
+	l.state = (l.state >> 1) | (fb << uint(l.width-1))
+	return out
+}
+
+// Bits produces the next n output bits.
+func (l *LFSR) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(l.Step())
+	}
+	return out
+}
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Period runs the register until the start state recurs and returns the
+// cycle length, or -1 when the start state does not recur within 2^width
+// steps (possible when tap 0 is absent: dropping the output bit from the
+// feedback makes the state map non-invertible, so the orbit can enter a
+// cycle that excludes the start state). Only sensible for small widths.
+func (l *LFSR) Period() int {
+	start := l.state
+	limit := 1 << uint(l.width)
+	if l.width >= 31 {
+		limit = 1 << 31
+	}
+	for n := 1; n <= limit; n++ {
+		l.Step()
+		if l.state == start {
+			return n
+		}
+	}
+	return -1
+}
+
+// MISR is a multiple-input signature register compacting test responses.
+// It is modeled as an internal LFSR whose state is XORed with each input
+// word every cycle.
+type MISR struct {
+	width int
+	taps  []int
+	state uint64
+}
+
+// NewMISR builds a MISR of the given width with the given feedback taps.
+func NewMISR(width int, taps []int) (*MISR, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("bist: MISR width %d outside 1..64", width)
+	}
+	for _, t := range taps {
+		if t < 0 || t >= width {
+			return nil, fmt.Errorf("bist: MISR tap %d outside width %d", t, width)
+		}
+	}
+	return &MISR{width: width, taps: append([]int(nil), taps...)}, nil
+}
+
+// DefaultMISR returns a 32-bit MISR with a maximal-length tap set.
+func DefaultMISR() *MISR {
+	m, err := NewMISR(32, []int{31, 21, 1, 0})
+	if err != nil {
+		panic(err) // static configuration: cannot fail
+	}
+	return m
+}
+
+// Absorb compacts one response word into the signature.
+func (m *MISR) Absorb(word uint64) {
+	var fb uint64
+	for _, t := range m.taps {
+		fb ^= (m.state >> uint(t)) & 1
+	}
+	m.state = ((m.state >> 1) | (fb << uint(m.width-1))) ^ (word & lfsrMask(m.width))
+}
+
+// Signature returns the accumulated signature.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// Reset clears the signature.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Engine is one on-chip BIST engine: an LFSR source plus a MISR sink that
+// at most one core test may use at a time.
+type Engine struct {
+	// ID is the engine identifier referenced by soc.Test.BISTEngine.
+	ID int
+	// Gen drives stimulus; Sig compacts responses.
+	Gen *LFSR
+	Sig *MISR
+
+	busyBy int // core currently holding the engine, 0 = free
+}
+
+// Registry tracks the SOC's BIST engines and their exclusive acquisition.
+// It is the hardware counterpart of the scheduler's BIST-conflict check:
+// the simulator acquires engines as tests start and a second concurrent
+// acquisition is a hard error.
+type Registry struct {
+	engines map[int]*Engine
+}
+
+// NewRegistry creates a registry with engines for each listed ID.
+func NewRegistry(ids []int) *Registry {
+	r := &Registry{engines: make(map[int]*Engine, len(ids))}
+	for _, id := range ids {
+		r.engines[id] = &Engine{
+			ID:  id,
+			Gen: DefaultLFSR(uint64(id)*2654435761 + 1),
+			Sig: DefaultMISR(),
+		}
+	}
+	return r
+}
+
+// Engine returns the engine with the given ID, or nil.
+func (r *Registry) Engine(id int) *Engine { return r.engines[id] }
+
+// Acquire hands the engine to a core, failing when it is held.
+func (r *Registry) Acquire(engineID, coreID int) error {
+	e := r.engines[engineID]
+	if e == nil {
+		return fmt.Errorf("bist: no engine %d", engineID)
+	}
+	if e.busyBy != 0 {
+		return fmt.Errorf("bist: engine %d busy with core %d, wanted by core %d", engineID, e.busyBy, coreID)
+	}
+	e.busyBy = coreID
+	return nil
+}
+
+// Release returns the engine, failing on mismatched ownership.
+func (r *Registry) Release(engineID, coreID int) error {
+	e := r.engines[engineID]
+	if e == nil {
+		return fmt.Errorf("bist: no engine %d", engineID)
+	}
+	if e.busyBy != coreID {
+		return fmt.Errorf("bist: engine %d held by core %d, released by core %d", engineID, e.busyBy, coreID)
+	}
+	e.busyBy = 0
+	return nil
+}
+
+// Holder returns the core currently holding the engine (0 = free).
+func (r *Registry) Holder(engineID int) int {
+	if e := r.engines[engineID]; e != nil {
+		return e.busyBy
+	}
+	return 0
+}

@@ -1,0 +1,292 @@
+// Package constraint models the scheduling constraints of the DAC 2002
+// framework (Problem 2): precedence constraints between core tests,
+// concurrency (mutual-exclusion) constraints — including those implied by
+// core hierarchy (a parent's Intest conflicts with its children's tests) —
+// a maximum power budget, BIST-engine resource conflicts, and per-core
+// preemption limits. It corresponds to the Conflict subroutine (Fig. 7).
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/soc"
+)
+
+// Checker answers "may core i start (or resume) now?" given the set of
+// currently running cores. It is stateless with respect to time: callers
+// tell it which cores are complete and which are running.
+type Checker struct {
+	soc *soc.SOC
+	// preds[i] lists cores that must complete before core i may begin.
+	preds map[int][]int
+	// conc[i] holds the set of cores that may not run concurrently with i.
+	conc map[int]map[int]bool
+	// engine[i] is core i's BIST engine, or -1.
+	engine map[int]int
+	// power[i] is core i's test power.
+	power map[int]int
+	// powerMax is the budget; 0 disables the check.
+	powerMax int
+}
+
+// Config tunes checker construction.
+type Config struct {
+	// PowerMax overrides the SOC's power budget when > 0. When both are
+	// zero the power check is disabled.
+	PowerMax int
+	// IgnoreHierarchy suppresses the implicit parent/child concurrency
+	// constraints (useful for ablation).
+	IgnoreHierarchy bool
+}
+
+// New builds a Checker for the SOC. It derives hierarchy concurrency
+// constraints, indexes explicit constraints, and rejects precedence cycles.
+func New(s *soc.SOC, cfg Config) (*Checker, error) {
+	c := &Checker{
+		soc:    s,
+		preds:  make(map[int][]int),
+		conc:   make(map[int]map[int]bool),
+		engine: make(map[int]int),
+		power:  make(map[int]int),
+	}
+	c.powerMax = s.PowerMax
+	if cfg.PowerMax > 0 {
+		c.powerMax = cfg.PowerMax
+	}
+	for _, core := range s.Cores {
+		c.engine[core.ID] = core.Test.BISTEngine
+		c.power[core.ID] = core.TestPower()
+	}
+	for _, p := range s.Precedences {
+		c.preds[p.After] = append(c.preds[p.After], p.Before)
+	}
+	addConc := func(a, b int) {
+		if c.conc[a] == nil {
+			c.conc[a] = make(map[int]bool)
+		}
+		if c.conc[b] == nil {
+			c.conc[b] = make(map[int]bool)
+		}
+		c.conc[a][b] = true
+		c.conc[b][a] = true
+	}
+	for _, cc := range s.Concurrencies {
+		addConc(cc.A, cc.B)
+	}
+	if !cfg.IgnoreHierarchy {
+		for _, cc := range s.HierarchyConcurrencies() {
+			addConc(cc.A, cc.B)
+		}
+	}
+	if err := c.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	if err := c.checkFeasible(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// checkAcyclic rejects precedence cycles via Kahn's algorithm.
+func (c *Checker) checkAcyclic() error {
+	indeg := make(map[int]int)
+	succ := make(map[int][]int)
+	for _, core := range c.soc.Cores {
+		indeg[core.ID] = 0
+	}
+	for after, befores := range c.preds {
+		for _, b := range befores {
+			succ[b] = append(succ[b], after)
+			indeg[after]++
+		}
+	}
+	var queue []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Ints(queue)
+	done := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		done++
+		for _, nx := range succ[id] {
+			indeg[nx]--
+			if indeg[nx] == 0 {
+				queue = append(queue, nx)
+			}
+		}
+	}
+	if done != len(c.soc.Cores) {
+		return fmt.Errorf("constraint: precedence constraints contain a cycle")
+	}
+	return nil
+}
+
+// checkFeasible rejects budgets no single test can meet.
+func (c *Checker) checkFeasible() error {
+	if c.powerMax == 0 {
+		return nil
+	}
+	for _, core := range c.soc.Cores {
+		if p := c.power[core.ID]; p > c.powerMax {
+			return fmt.Errorf("constraint: core %d (%s) dissipates %d > power budget %d; no schedule exists",
+				core.ID, core.Name, p, c.powerMax)
+		}
+	}
+	return nil
+}
+
+// PowerMax returns the effective budget (0 when unconstrained).
+func (c *Checker) PowerMax() int { return c.powerMax }
+
+// Power returns core id's test power.
+func (c *Checker) Power(id int) int { return c.power[id] }
+
+// Predecessors returns the cores that must complete before id may begin.
+func (c *Checker) Predecessors(id int) []int { return c.preds[id] }
+
+// Conflict reports why core id may not start now, or "" when it may.
+// complete maps finished cores; running maps currently scheduled cores.
+// It mirrors the paper's Conflict subroutine: precedence (lines 2-3),
+// concurrency (4-5), power (6-9), and BIST-scan conflicts (10-11).
+func (c *Checker) Conflict(id int, complete, running map[int]bool) string {
+	for _, pre := range c.preds[id] {
+		if !complete[pre] {
+			return fmt.Sprintf("precedence: core %d must complete before core %d", pre, id)
+		}
+	}
+	for other := range running {
+		if c.conc[id][other] {
+			return fmt.Sprintf("concurrency: core %d may not run with core %d", id, other)
+		}
+	}
+	if c.powerMax > 0 {
+		sum := c.power[id]
+		for other := range running {
+			sum += c.power[other]
+		}
+		if sum > c.powerMax {
+			return fmt.Sprintf("power: %d exceeds budget %d", sum, c.powerMax)
+		}
+	}
+	if e := c.engine[id]; e >= 0 {
+		for other := range running {
+			if c.engine[other] == e {
+				return fmt.Sprintf("bist: cores %d and %d share BIST engine %d", id, other, e)
+			}
+		}
+	}
+	return ""
+}
+
+// OK reports whether core id may start now.
+func (c *Checker) OK(id int, complete, running map[int]bool) bool {
+	return c.Conflict(id, complete, running) == ""
+}
+
+// ValidateTimeline checks a completed schedule: for every core interval
+// set, precedence, concurrency, BIST and power constraints must hold at
+// every instant. intervals maps core ID to its (start, end) pieces.
+func (c *Checker) ValidateTimeline(intervals map[int][]Interval) error {
+	// Precedence: After's first start must be >= Before's last end.
+	for after, befores := range c.preds {
+		ai := intervals[after]
+		if len(ai) == 0 {
+			continue
+		}
+		for _, b := range befores {
+			bi := intervals[b]
+			if len(bi) == 0 {
+				return fmt.Errorf("constraint: core %d scheduled but predecessor %d never runs", after, b)
+			}
+			if first(ai) < last(bi) {
+				return fmt.Errorf("constraint: core %d starts at %d before predecessor %d ends at %d",
+					after, first(ai), b, last(bi))
+			}
+		}
+	}
+	// Pairwise checks at overlap: concurrency + BIST.
+	ids := make([]int, 0, len(intervals))
+	for id := range intervals {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			if !overlaps(intervals[a], intervals[b]) {
+				continue
+			}
+			if c.conc[a][b] {
+				return fmt.Errorf("constraint: concurrency violation: cores %d and %d overlap", a, b)
+			}
+			if ea, eb := c.engine[a], c.engine[b]; ea >= 0 && ea == eb {
+				return fmt.Errorf("constraint: BIST engine %d shared by overlapping cores %d and %d", ea, a, b)
+			}
+		}
+	}
+	// Power: sweep events.
+	if c.powerMax > 0 {
+		type ev struct {
+			t     int64
+			delta int
+		}
+		var evs []ev
+		for id, ivs := range intervals {
+			for _, iv := range ivs {
+				evs = append(evs, ev{iv.Start, c.power[id]}, ev{iv.End, -c.power[id]})
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta // ends before starts at same t
+		})
+		sum := 0
+		for _, e := range evs {
+			sum += e.delta
+			if sum > c.powerMax {
+				return fmt.Errorf("constraint: power %d exceeds budget %d at time %d", sum, c.powerMax, e.t)
+			}
+		}
+	}
+	return nil
+}
+
+// Interval is a [Start, End) time span.
+type Interval struct{ Start, End int64 }
+
+func first(ivs []Interval) int64 {
+	m := ivs[0].Start
+	for _, iv := range ivs {
+		if iv.Start < m {
+			m = iv.Start
+		}
+	}
+	return m
+}
+
+func last(ivs []Interval) int64 {
+	var m int64
+	for _, iv := range ivs {
+		if iv.End > m {
+			m = iv.End
+		}
+	}
+	return m
+}
+
+func overlaps(a, b []Interval) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Start < y.End && y.Start < x.End {
+				return true
+			}
+		}
+	}
+	return false
+}

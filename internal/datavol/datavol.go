@@ -1,0 +1,170 @@
+// Package datavol implements Problem 3 of the DAC 2002 framework: the
+// relationship between total TAM width W, SOC testing time T(W), and tester
+// data volume D(W), and the identification of an "effective" TAM width that
+// trades the two off.
+//
+// The tester stores, for each TAM pin, one memory column as deep as the
+// test schedule is long, so the per-pin memory depth equals T(W) and the
+// total tester data volume is D(W) = W · T(W) bits. T(W) decreases only at
+// Pareto-optimal widths, so D(W) is non-monotonic with local minima exactly
+// at those widths. The normalized cost
+//
+//	C(γ, W) = γ·T(W)/T_min + (1−γ)·D(W)/D_min
+//
+// is U-shaped in W; its minimizer is the effective TAM width W_e.
+package datavol
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/soc"
+)
+
+// Sample is one point of the W sweep.
+type Sample struct {
+	// TAMWidth is W.
+	TAMWidth int
+	// Time is the scheduled SOC testing time T(W) in cycles.
+	Time int64
+	// Volume is the tester data volume D(W) = W·T(W) in bits.
+	Volume int64
+}
+
+// Sweep holds T(W) and D(W) across a width range for one SOC.
+type Sweep struct {
+	// SOC names the swept SOC.
+	SOC string
+	// Samples are ordered by increasing TAMWidth.
+	Samples []Sample
+	// MinTime / MinTimeWidth locate T_min.
+	MinTime      int64
+	MinTimeWidth int
+	// MinVolume / MinVolumeWidth locate D_min.
+	MinVolume      int64
+	MinVolumeWidth int
+}
+
+// Config tunes a sweep.
+type Config struct {
+	// WidthLo and WidthHi bound the sweep (inclusive). Defaults: 4..80
+	// (the paper plots 0..80; widths below 4 are uninformative and slow).
+	WidthLo, WidthHi int
+	// Params carries scheduler settings applied at every width; TAMWidth
+	// is overwritten per sample. Preemption is normally disabled for
+	// data-volume studies (the paper's Table 2 uses the non-preemptive
+	// times).
+	Params sched.Params
+	// Percents, Deltas optionally override the per-width parameter grid
+	// used to pick the best schedule (defaults: paper grid).
+	Percents, Deltas []int
+}
+
+// Run sweeps W over the configured range, scheduling the SOC at each width
+// with the best (percent, delta) found on the grid.
+func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
+	if cfg.WidthLo == 0 {
+		cfg.WidthLo = 4
+	}
+	if cfg.WidthHi == 0 {
+		cfg.WidthHi = 80
+	}
+	if cfg.WidthLo < 1 || cfg.WidthHi < cfg.WidthLo {
+		return nil, fmt.Errorf("datavol: bad width range [%d,%d]", cfg.WidthLo, cfg.WidthHi)
+	}
+	opt, err := sched.New(s, cfg.Params.Defaults().MaxWidth)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{SOC: s.Name}
+	for w := cfg.WidthLo; w <= cfg.WidthHi; w++ {
+		p := cfg.Params
+		p.TAMWidth = w
+		best, err := opt.SweepBest(p, cfg.Percents, cfg.Deltas)
+		if err != nil {
+			return nil, fmt.Errorf("datavol: width %d: %v", w, err)
+		}
+		smp := Sample{TAMWidth: w, Time: best.Makespan, Volume: int64(w) * best.Makespan}
+		sw.Samples = append(sw.Samples, smp)
+		if sw.MinTime == 0 || smp.Time < sw.MinTime {
+			sw.MinTime, sw.MinTimeWidth = smp.Time, w
+		}
+		if sw.MinVolume == 0 || smp.Volume < sw.MinVolume {
+			sw.MinVolume, sw.MinVolumeWidth = smp.Volume, w
+		}
+	}
+	return sw, nil
+}
+
+// Cost returns C(γ, W) for the sample, normalized by the sweep's minima.
+func (sw *Sweep) Cost(gamma float64, s Sample) float64 {
+	return gamma*float64(s.Time)/float64(sw.MinTime) +
+		(1-gamma)*float64(s.Volume)/float64(sw.MinVolume)
+}
+
+// CostCurve returns the C(γ, W) series over the sweep (Fig. 9(c)/(d)).
+type CostPoint struct {
+	TAMWidth int
+	Cost     float64
+}
+
+// CostCurve evaluates the cost function at every swept width.
+func (sw *Sweep) CostCurve(gamma float64) []CostPoint {
+	out := make([]CostPoint, len(sw.Samples))
+	for i, s := range sw.Samples {
+		out[i] = CostPoint{TAMWidth: s.TAMWidth, Cost: sw.Cost(gamma, s)}
+	}
+	return out
+}
+
+// Effective is the outcome of an effective-width identification: the W
+// minimizing C(γ, ·) and the resulting time/volume (a Table 2 row).
+type Effective struct {
+	Gamma    float64
+	CostMin  float64
+	TAMWidth int
+	Time     int64
+	Volume   int64
+}
+
+// EffectiveWidth minimizes C(γ, ·) over the sweep. Ties break toward the
+// smaller width (cheaper routing, per the paper's motivation).
+func (sw *Sweep) EffectiveWidth(gamma float64) (Effective, error) {
+	if gamma < 0 || gamma > 1 {
+		return Effective{}, fmt.Errorf("datavol: gamma %v outside [0,1]", gamma)
+	}
+	if len(sw.Samples) == 0 {
+		return Effective{}, fmt.Errorf("datavol: empty sweep")
+	}
+	best := Effective{Gamma: gamma, CostMin: math.Inf(1)}
+	for _, s := range sw.Samples {
+		c := sw.Cost(gamma, s)
+		if c < best.CostMin-1e-12 {
+			best.CostMin = c
+			best.TAMWidth = s.TAMWidth
+			best.Time = s.Time
+			best.Volume = s.Volume
+		}
+	}
+	return best, nil
+}
+
+// MultisiteThroughput models the paper's multisite-testing motivation:
+// given a tester with pinCount digital channels and a per-pin vector buffer
+// of bufferDepth bits, a schedule at width W with per-pin depth T fits only
+// when T <= bufferDepth, and the number of ICs testable in parallel is
+// floor(pinCount / W). The returned figure is sites tested per second at
+// the given tester cycle rate, or an error when the buffer is exceeded
+// (requiring costly mid-test reloads).
+func MultisiteThroughput(s Sample, pinCount int, bufferDepth int64, hz float64) (float64, error) {
+	if s.TAMWidth > pinCount {
+		return 0, fmt.Errorf("datavol: width %d exceeds tester pin count %d", s.TAMWidth, pinCount)
+	}
+	if s.Time > bufferDepth {
+		return 0, fmt.Errorf("datavol: per-pin depth %d exceeds tester buffer %d", s.Time, bufferDepth)
+	}
+	sites := pinCount / s.TAMWidth
+	perBatchSeconds := float64(s.Time) / hz
+	return float64(sites) / perBatchSeconds, nil
+}

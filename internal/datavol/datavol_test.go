@@ -1,0 +1,180 @@
+package datavol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/soc"
+)
+
+// quickSweep runs a small sweep on a small SOC (kept cheap for CI).
+func quickSweep(t *testing.T) *Sweep {
+	t.Helper()
+	s := bench.Demo()
+	sw, err := Run(s, Config{WidthLo: 4, WidthHi: 24, Percents: []int{1, 5, 10, 20}, Deltas: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestSweepBasics(t *testing.T) {
+	sw := quickSweep(t)
+	if len(sw.Samples) != 21 {
+		t.Fatalf("got %d samples, want 21", len(sw.Samples))
+	}
+	for i, smp := range sw.Samples {
+		if smp.TAMWidth != 4+i {
+			t.Fatalf("sample %d has width %d", i, smp.TAMWidth)
+		}
+		if smp.Volume != int64(smp.TAMWidth)*smp.Time {
+			t.Fatalf("D != W·T at W=%d: %d vs %d·%d", smp.TAMWidth, smp.Volume, smp.TAMWidth, smp.Time)
+		}
+	}
+	// Minima bookkeeping.
+	var minT, minD int64 = math.MaxInt64, math.MaxInt64
+	for _, smp := range sw.Samples {
+		if smp.Time < minT {
+			minT = smp.Time
+		}
+		if smp.Volume < minD {
+			minD = smp.Volume
+		}
+	}
+	if sw.MinTime != minT || sw.MinVolume != minD {
+		t.Fatalf("minima wrong: T %d vs %d, D %d vs %d", sw.MinTime, minT, sw.MinVolume, minD)
+	}
+}
+
+func TestTimeTrendsDownward(t *testing.T) {
+	// The scheduler is heuristic so T(W) need not be monotone pointwise,
+	// but the wide end must beat the narrow end decisively.
+	sw := quickSweep(t)
+	first, last := sw.Samples[0], sw.Samples[len(sw.Samples)-1]
+	if last.Time >= first.Time {
+		t.Fatalf("T(%d)=%d not below T(%d)=%d", last.TAMWidth, last.Time, first.TAMWidth, first.Time)
+	}
+}
+
+func TestCostFunction(t *testing.T) {
+	sw := quickSweep(t)
+	// γ=1 reduces C to T/T_min: minimized where T is minimal.
+	eff1, err := sw.EffectiveWidth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff1.Time != sw.MinTime {
+		t.Fatalf("γ=1 picked T=%d, want T_min=%d", eff1.Time, sw.MinTime)
+	}
+	if math.Abs(eff1.CostMin-1.0) > 1e-9 {
+		t.Fatalf("γ=1 C_min = %v, want 1", eff1.CostMin)
+	}
+	// γ=0 reduces C to D/D_min.
+	eff0, err := sw.EffectiveWidth(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff0.Volume != sw.MinVolume {
+		t.Fatalf("γ=0 picked D=%d, want D_min=%d", eff0.Volume, sw.MinVolume)
+	}
+	// C is always >= 1 (both ratios are >= their minima).
+	for _, g := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, smp := range sw.Samples {
+			if c := sw.Cost(g, smp); c < 1-1e-9 {
+				t.Fatalf("C(γ=%v, W=%d) = %v < 1", g, smp.TAMWidth, c)
+			}
+		}
+	}
+	if _, err := sw.EffectiveWidth(-0.1); err == nil {
+		t.Error("γ<0 accepted")
+	}
+	if _, err := sw.EffectiveWidth(1.1); err == nil {
+		t.Error("γ>1 accepted")
+	}
+}
+
+// Property: the effective width's cost is minimal over the whole sweep for
+// arbitrary γ.
+func TestEffectiveWidthIsArgminProperty(t *testing.T) {
+	sw := quickSweep(t)
+	f := func(g float64) bool {
+		gamma := math.Abs(math.Mod(g, 1))
+		eff, err := sw.EffectiveWidth(gamma)
+		if err != nil {
+			return false
+		}
+		for _, smp := range sw.Samples {
+			if sw.Cost(gamma, smp) < eff.CostMin-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostCurve(t *testing.T) {
+	sw := quickSweep(t)
+	curve := sw.CostCurve(0.5)
+	if len(curve) != len(sw.Samples) {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i, p := range curve {
+		want := sw.Cost(0.5, sw.Samples[i])
+		if math.Abs(p.Cost-want) > 1e-12 || p.TAMWidth != sw.Samples[i].TAMWidth {
+			t.Fatalf("curve[%d] = %+v, want cost %v", i, p, want)
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	s := bench.Demo()
+	if _, err := Run(s, Config{WidthLo: 10, WidthHi: 5}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Run(s, Config{WidthLo: -1, WidthHi: 5}); err == nil {
+		t.Error("negative lo accepted")
+	}
+}
+
+func TestMultisiteThroughput(t *testing.T) {
+	smp := Sample{TAMWidth: 16, Time: 1000, Volume: 16000}
+	thr, err := MultisiteThroughput(smp, 512, 1_000_000, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 sites, 1000/50e6 s per batch -> 32·50e3 = 1.6e6 dies/s.
+	if math.Abs(thr-1.6e6) > 1 {
+		t.Fatalf("throughput = %v, want 1.6e6", thr)
+	}
+	if _, err := MultisiteThroughput(smp, 8, 1_000_000, 50e6); err == nil {
+		t.Error("width beyond pins accepted")
+	}
+	if _, err := MultisiteThroughput(smp, 512, 10, 50e6); err == nil {
+		t.Error("buffer overflow accepted")
+	}
+}
+
+// TestVolumeLocalMinimaAtParetoDrops: D(W) dips where T(W) drops — the
+// paper's Fig. 9(b) structure.
+func TestVolumeLocalMinimaAtParetoDrops(t *testing.T) {
+	sw := quickSweep(t)
+	dips := 0
+	for i := 1; i < len(sw.Samples)-1; i++ {
+		prev, cur, next := sw.Samples[i-1], sw.Samples[i], sw.Samples[i+1]
+		if cur.Volume < prev.Volume && cur.Volume <= next.Volume {
+			dips++
+			// A dip requires a time drop from the previous width.
+			if cur.Time >= prev.Time {
+				t.Errorf("D dips at W=%d without T dropping (T: %d -> %d)", cur.TAMWidth, prev.Time, cur.Time)
+			}
+		}
+	}
+	t.Logf("observed %d local minima in D(W)", dips)
+}
+
+var _ = soc.SOC{} // keep the import for documentation examples

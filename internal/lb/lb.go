@@ -1,0 +1,88 @@
+// Package lb computes lower bounds on SOC testing time for a given total
+// TAM width, as used in Table 1 of the DAC 2002 paper:
+//
+//	LB(W) = max( ⌈A / W⌉ , max_i T_i(w_max) )
+//
+// where A = Σ_i min_w w·T_i(w) is the total minimum rectangle area over all
+// cores (no schedule can pack less area into the W-wire bin), and the second
+// term is the bottleneck core: no core can finish faster than its testing
+// time at the per-core width cap.
+package lb
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+	"repro/internal/soc"
+)
+
+// Bound holds a lower bound and its two components.
+type Bound struct {
+	// TAMWidth is the W the bound was computed for.
+	TAMWidth int
+	// AreaBound is ⌈A/W⌉.
+	AreaBound int64
+	// BottleneckBound is max_i T_i(min(W, maxWidth)).
+	BottleneckBound int64
+	// MinArea is A itself (wire-cycles).
+	MinArea int64
+}
+
+// Value returns the lower bound: the larger of the two components.
+func (b Bound) Value() int64 {
+	if b.AreaBound > b.BottleneckBound {
+		return b.AreaBound
+	}
+	return b.BottleneckBound
+}
+
+// Compute returns the lower bound for the SOC at TAM width w, with per-core
+// widths capped at maxWidth (the paper's 64) and additionally at w.
+func Compute(s *soc.SOC, w, maxWidth int) (Bound, error) {
+	if w < 1 {
+		return Bound{}, fmt.Errorf("lb: non-positive TAM width %d", w)
+	}
+	if maxWidth < 1 {
+		return Bound{}, fmt.Errorf("lb: non-positive max width %d", maxWidth)
+	}
+	cap := maxWidth
+	if cap > w {
+		cap = w
+	}
+	var area, bottleneck int64
+	for _, c := range s.Cores {
+		ps, err := pareto.Compute(c, cap)
+		if err != nil {
+			return Bound{}, err
+		}
+		area += ps.MinArea()
+		if t := ps.MinTime(); t > bottleneck {
+			bottleneck = t
+		}
+	}
+	return Bound{
+		TAMWidth:        w,
+		AreaBound:       ceilDiv(area, int64(w)),
+		BottleneckBound: bottleneck,
+		MinArea:         area,
+	}, nil
+}
+
+// MinArea returns A = Σ_i min_w w·T_i(w) with per-core widths capped at
+// maxWidth. It pins the SOC's total test-data footprint and is the quantity
+// our synthetic benchmark SOCs are calibrated against.
+func MinArea(s *soc.SOC, maxWidth int) (int64, error) {
+	var area int64
+	for _, c := range s.Cores {
+		ps, err := pareto.Compute(c, maxWidth)
+		if err != nil {
+			return 0, err
+		}
+		area += ps.MinArea()
+	}
+	return area, nil
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,186 @@
+// Package pareto computes the testing-time-versus-TAM-width staircase of a
+// wrapped core, its Pareto-optimal points, and the "preferred TAM width"
+// selection used by the DAC 2002 scheduling algorithm's Initialize step.
+//
+// For a given core, testing time T(w) is a non-increasing staircase in the
+// TAM width w: it only drops at core-specific thresholds. A width w is
+// Pareto-optimal when T(w) < T(w-1); rectangles at non-Pareto widths waste
+// TAM wires and are discarded.
+package pareto
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+	"repro/internal/wrapper"
+)
+
+// Point is one Pareto-optimal (width, time) pair for a core: the minimal
+// TAM width achieving that testing time.
+type Point struct {
+	Width int
+	Time  int64
+}
+
+// Set is the Pareto-optimal rectangle set R_i of one core, ordered by
+// strictly increasing Width and strictly decreasing Time.
+type Set struct {
+	// CoreID identifies the core.
+	CoreID int
+	// MaxWidth is the width cap the set was computed under (the paper's
+	// w_max, typically 64, further capped by the SOC TAM width).
+	MaxWidth int
+	// Points holds the Pareto points, Points[0].Width == 1.
+	Points []Point
+	// times caches T(w) for every w in 1..MaxWidth (index w-1).
+	times []int64
+}
+
+// Compute builds the Pareto set of core c for widths 1..maxWidth.
+func Compute(c *soc.Core, maxWidth int) (*Set, error) {
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("pareto: core %d: non-positive max width %d", c.ID, maxWidth)
+	}
+	s := &Set{CoreID: c.ID, MaxWidth: maxWidth, times: make([]int64, maxWidth)}
+	var prev int64 = -1
+	for w := 1; w <= maxWidth; w++ {
+		d, err := wrapper.DesignWrapper(c, w)
+		if err != nil {
+			return nil, err
+		}
+		t := d.TestTime()
+		s.times[w-1] = t
+		if prev == -1 || t < prev {
+			s.Points = append(s.Points, Point{Width: w, Time: t})
+			prev = t
+		}
+	}
+	return s, nil
+}
+
+// Time returns T(w) for 1 <= w <= MaxWidth. Widths above MaxWidth saturate
+// to T(MaxWidth); widths below 1 panic (programmer error).
+func (s *Set) Time(w int) int64 {
+	if w < 1 {
+		panic(fmt.Sprintf("pareto: core %d: width %d < 1", s.CoreID, w))
+	}
+	if w > s.MaxWidth {
+		w = s.MaxWidth
+	}
+	return s.times[w-1]
+}
+
+// MaxParetoWidth returns the highest Pareto-optimal width (the paper's w*):
+// the smallest width achieving the core's minimum testing time. Widths
+// beyond it buy nothing.
+func (s *Set) MaxParetoWidth() int {
+	return s.Points[len(s.Points)-1].Width
+}
+
+// MinTime returns the core's minimum testing time within the width cap.
+func (s *Set) MinTime() int64 {
+	return s.Points[len(s.Points)-1].Time
+}
+
+// SnapDown returns the largest Pareto-optimal width <= w, and true when one
+// exists (w >= 1 always has one, since width 1 is Pareto-optimal).
+func (s *Set) SnapDown(w int) (int, bool) {
+	if w < 1 {
+		return 0, false
+	}
+	best := 0
+	for _, p := range s.Points {
+		if p.Width <= w {
+			best = p.Width
+		} else {
+			break
+		}
+	}
+	if best == 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// PreferredWidth implements the Initialize subroutine (Fig. 5): choose the
+// smallest width whose testing time is within percent% of the time at
+// MaxWidth, then, if the highest Pareto-optimal width w* is at most delta
+// wires larger, promote to w* (the "bottleneck rescue" heuristic that wins
+// SOC p34392 its minimum testing time in the paper).
+//
+// percent is the paper's user parameter (1..10 typically); delta is the
+// allowed width difference (0..4 typically).
+func (s *Set) PreferredWidth(percent, delta int) int {
+	target := s.MinTime() + (s.MinTime()*int64(percent))/100
+	pref := s.MaxParetoWidth()
+	// Points are width-ascending / time-descending: the first point at or
+	// under the target time is the smallest qualifying width.
+	for _, p := range s.Points {
+		if p.Time <= target {
+			pref = p.Width
+			break
+		}
+	}
+	if wstar := s.MaxParetoWidth(); wstar-pref <= delta {
+		pref = wstar
+	}
+	return pref
+}
+
+// MinArea returns min over w of w·T(w) — the smallest TAM-wire-cycle area
+// any rectangle of this core can occupy. It is the per-core term of the
+// scheduling lower bound.
+func (s *Set) MinArea() int64 {
+	best := int64(1) * s.times[0]
+	for w := 2; w <= s.MaxWidth; w++ {
+		if a := int64(w) * s.times[w-1]; a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Capped returns a view of the set restricted to widths 1..cap. The Pareto
+// points of the capped staircase are exactly the prefix of the full set's
+// points, so this is cheap; the underlying time table is shared.
+// cap values at or above MaxWidth return the receiver unchanged.
+func (s *Set) Capped(cap int) (*Set, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("pareto: core %d: non-positive cap %d", s.CoreID, cap)
+	}
+	if cap >= s.MaxWidth {
+		return s, nil
+	}
+	out := &Set{CoreID: s.CoreID, MaxWidth: cap, times: s.times[:cap]}
+	for _, p := range s.Points {
+		if p.Width > cap {
+			break
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// Staircase returns the full (width, time) series for w = 1..MaxWidth,
+// suitable for plotting Fig. 1 / Fig. 9(a)-style curves.
+func (s *Set) Staircase() []Point {
+	out := make([]Point, s.MaxWidth)
+	for w := 1; w <= s.MaxWidth; w++ {
+		out[w-1] = Point{Width: w, Time: s.times[w-1]}
+	}
+	return out
+}
+
+// ComputeAll builds Pareto sets for every core of the SOC under the same
+// width cap, indexed by core ID.
+func ComputeAll(s *soc.SOC, maxWidth int) (map[int]*Set, error) {
+	out := make(map[int]*Set, len(s.Cores))
+	for _, c := range s.Cores {
+		ps, err := Compute(c, maxWidth)
+		if err != nil {
+			return nil, err
+		}
+		out[c.ID] = ps
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package rect
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustBin(t *testing.T, h int) *Bin {
+	t.Helper()
+	b, err := NewBin(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBin(t *testing.T) {
+	if _, err := NewBin(0); err == nil {
+		t.Fatal("height 0 accepted")
+	}
+	b := mustBin(t, 4)
+	if b.Height() != 4 {
+		t.Fatalf("Height = %d", b.Height())
+	}
+}
+
+func TestPlaceAndAccounting(t *testing.T) {
+	b := mustBin(t, 4)
+	p1, err := b.Place(1, 2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Width() != 2 || p1.Duration() != 10 {
+		t.Fatalf("piece geometry wrong: %+v", p1)
+	}
+	p2, err := b.Place(2, 2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharesWire(p1.Wires, p2.Wires) {
+		t.Fatalf("overlapping placements share wires: %v %v", p1.Wires, p2.Wires)
+	}
+	if _, err := b.Place(3, 1, 2, 4); err == nil {
+		t.Fatal("overfull interval accepted")
+	}
+	if _, err := b.Place(3, 1, 5, 8); err != nil {
+		t.Fatalf("free interval rejected: %v", err)
+	}
+	if got := b.Makespan(); got != 10 {
+		t.Fatalf("Makespan = %d, want 10", got)
+	}
+	if got := b.UsedArea(); got != 2*10+2*5+1*3 {
+		t.Fatalf("UsedArea = %d", got)
+	}
+	if got := b.IdleArea(); got != 4*10-33 {
+		t.Fatalf("IdleArea = %d", got)
+	}
+	if u := b.Utilization(); u < 0.82 || u > 0.83 {
+		t.Fatalf("Utilization = %v", u)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sharesWire(a, b []int) bool {
+	set := make(map[int]bool)
+	for _, w := range a {
+		set[w] = true
+	}
+	for _, w := range b {
+		if set[w] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlaceErrors(t *testing.T) {
+	b := mustBin(t, 2)
+	if _, err := b.Place(1, 0, 0, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := b.Place(1, 1, -1, 1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := b.Place(1, 1, 5, 5); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := b.Place(1, 3, 0, 1); err == nil {
+		t.Error("width beyond bin height accepted")
+	}
+}
+
+func TestPlacePreferredKeepsWires(t *testing.T) {
+	b := mustBin(t, 8)
+	p1, err := b.Place(1, 3, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume after a gap, preferring the original wires: they are free, so
+	// the same set must come back.
+	p2, err := b.PlacePreferred(1, 3, 20, 30, p1.Wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Wires {
+		if p1.Wires[i] != p2.Wires[i] {
+			t.Fatalf("preferred wires not kept: %v vs %v", p1.Wires, p2.Wires)
+		}
+	}
+	// Occupy one of them; the resume picks a replacement but keeps the rest.
+	if _, err := b.Place(2, 1, 40, 50); err != nil { // wire 0 busy for [40,50)
+		t.Fatal(err)
+	}
+	p3, err := b.PlacePreferred(1, 3, 40, 50, p1.Wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, w := range p3.Wires {
+		for _, o := range p1.Wires {
+			if w == o {
+				kept++
+			}
+		}
+	}
+	if kept < 2 {
+		t.Fatalf("kept only %d preferred wires: %v vs %v", kept, p1.Wires, p3.Wires)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeWiresAt(t *testing.T) {
+	b := mustBin(t, 3)
+	if _, err := b.Place(1, 2, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	free := b.FreeWiresAt(0, 10)
+	if len(free) != 1 {
+		t.Fatalf("FreeWiresAt = %v, want one wire", free)
+	}
+	if got := b.FreeWiresAt(10, 20); len(got) != 3 {
+		t.Fatalf("after makespan FreeWiresAt = %v", got)
+	}
+}
+
+func TestWidthInUseAt(t *testing.T) {
+	b := mustBin(t, 4)
+	b.Place(1, 2, 0, 10)
+	b.Place(2, 1, 5, 15)
+	cases := []struct {
+		t    int64
+		want int
+	}{{0, 2}, {4, 2}, {5, 3}, {9, 3}, {10, 1}, {14, 1}, {15, 0}}
+	for _, tc := range cases {
+		if got := b.WidthInUseAt(tc.t); got != tc.want {
+			t.Errorf("WidthInUseAt(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	b := mustBin(t, 4)
+	p, err := b.Place(1, 2, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the piece wire list to duplicate a wire.
+	saved := p.Wires[1]
+	p.Wires[1] = p.Wires[0]
+	if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate wire not caught: %v", err)
+	}
+	p.Wires[1] = saved
+
+	p.Wires[1] = 99
+	if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "outside bin") {
+		t.Fatalf("out-of-range wire not caught: %v", err)
+	}
+	p.Wires[1] = saved
+
+	// Same-core overlapping pieces.
+	b2 := mustBin(t, 4)
+	b2.Place(1, 1, 0, 10)
+	b2.Place(1, 1, 5, 15)
+	if err := b2.Validate(); err == nil || !strings.Contains(err.Error(), "overlap in time") {
+		t.Fatalf("same-core overlap not caught: %v", err)
+	}
+}
+
+// Property: random sequences of placements keep the bin consistent —
+// Validate passes, per-instant width usage never exceeds the height, and
+// used area equals the sum over sampled instants of widths (spot-checked).
+func TestRandomPackingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 + rng.Intn(12)
+		b, err := NewBin(h)
+		if err != nil {
+			return false
+		}
+		placed := 0
+		for i := 0; i < 40; i++ {
+			w := 1 + rng.Intn(h)
+			start := int64(rng.Intn(200))
+			end := start + int64(1+rng.Intn(50))
+			core := 1 + i // distinct cores: same-core overlap not at issue here
+			free := b.FreeWiresAt(start, end)
+			_, err := b.Place(core, w, start, end)
+			if len(free) >= w {
+				if err != nil {
+					t.Logf("placement rejected with %d free >= %d: %v", len(free), w, err)
+					return false
+				}
+				placed++
+			} else if err == nil {
+				t.Logf("placement accepted with %d free < %d", len(free), w)
+				return false
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		for probe := 0; probe < 20; probe++ {
+			if b.WidthInUseAt(int64(rng.Intn(260))) > h {
+				return false
+			}
+		}
+		return placed > 0 || h == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

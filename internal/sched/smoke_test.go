@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/lb"
+)
+
+func TestSmokeD695(t *testing.T) {
+	s := bench.D695()
+	for _, w := range []int{16, 32, 48, 64} {
+		best, err := SweepBest(s, Params{TAMWidth: w}, nil, nil)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if err := Verify(s, best); err != nil {
+			t.Fatalf("W=%d verify: %v", w, err)
+		}
+		b, _ := lb.Compute(s, w, 64)
+		t.Logf("W=%d LB=%d makespan=%d (%.2f%% over LB) events=%d util=%.3f", w, b.Value(), best.Makespan,
+			100*float64(best.Makespan-b.Value())/float64(b.Value()), best.Events, best.Utilization())
+		if best.Makespan < b.Value() {
+			t.Errorf("W=%d: makespan %d below LB %d", w, best.Makespan, b.Value())
+		}
+	}
+}
+
+func TestSmokePhilips(t *testing.T) {
+	for _, name := range []string{"p22810like", "p34392like", "p93791like"} {
+		s, _ := bench.ByName(name)
+		widths := []int{16, 32, 48, 64}
+		if name == "p34392like" {
+			widths = []int{16, 24, 28, 32}
+		}
+		for _, w := range widths {
+			best, err := SweepBest(s, Params{TAMWidth: w}, nil, nil)
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", name, w, err)
+			}
+			if err := Verify(s, best); err != nil {
+				t.Fatalf("%s W=%d verify: %v", name, w, err)
+			}
+			b, _ := lb.Compute(s, w, 64)
+			t.Logf("%s W=%d LB=%d makespan=%d (%.2f%% over)", name, w, b.Value(), best.Makespan,
+				100*float64(best.Makespan-b.Value())/float64(b.Value()))
+		}
+	}
+}
+
+func TestSmokePreemptive(t *testing.T) {
+	s := bench.D695()
+	mp, err := LargerCorePreemptions(s, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{16, 32, 48, 64} {
+		np, err := SweepBest(s, Params{TAMWidth: w}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := SweepBest(s, Params{TAMWidth: w, MaxPreemptions: mp}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(s, pre); err != nil {
+			t.Fatalf("W=%d verify: %v", w, err)
+		}
+		pmax := 0
+		for _, c := range s.Cores {
+			if p := c.TestPower(); p > pmax {
+				pmax = p
+			}
+		}
+		pw, err := SweepBest(s, Params{TAMWidth: w, MaxPreemptions: mp, PowerMax: pmax * 3 / 2}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(s, pw); err != nil {
+			t.Fatalf("W=%d power verify: %v", w, err)
+		}
+		t.Logf("W=%d nonpre=%d pre=%d power=%d", w, np.Makespan, pre.Makespan, pw.Makespan)
+	}
+}

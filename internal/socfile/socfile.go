@@ -1,0 +1,361 @@
+// Package socfile reads and writes SOC test descriptions in a line-oriented
+// text format modeled on the ITC'02 SOC test benchmark files. The grammar:
+//
+//	SocName <name>
+//	PowerMax <int>                    # optional, 0 = unconstrained
+//	TotalCores <n>
+//	Core <id> <name>                  # cores must appear in ID order
+//	  Parent <id>                     # optional, default 0 (SOC level)
+//	  Inputs <n> Outputs <n> Bidirs <n>
+//	  ScanChains <k> : <l1> <l2> ...  # optional, k lengths follow the colon
+//	  Test Patterns <n> [Kind scan|bist] [Engine <id>] [Power <n>]
+//	Precedence <before> <after>       # zero or more, after all cores
+//	Concurrency <a> <b>               # zero or more
+//
+// '#' starts a comment anywhere on a line; blank lines are ignored.
+// Write and Parse round-trip: Parse(Write(s)) == s.
+package socfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/soc"
+)
+
+// Parse reads an SOC description from r. The returned SOC is validated.
+func Parse(r io.Reader) (*soc.SOC, error) {
+	p := &parser{scan: bufio.NewScanner(r)}
+	p.scan.Buffer(make([]byte, 1<<16), 1<<20)
+	s, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseFile reads an SOC description from the named file.
+func ParseFile(path string) (*soc.SOC, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+type parser struct {
+	scan *bufio.Scanner
+	line int
+	cur  []string // current tokenized line, nil when consumed
+	done bool
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("socfile: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the tokens of the next non-empty line without consuming it.
+func (p *parser) next() []string {
+	if p.cur != nil || p.done {
+		return p.cur
+	}
+	for p.scan.Scan() {
+		p.line++
+		text := p.scan.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) > 0 {
+			p.cur = fields
+			return p.cur
+		}
+	}
+	p.done = true
+	return nil
+}
+
+func (p *parser) consume() { p.cur = nil }
+
+func (p *parser) parse() (*soc.SOC, error) {
+	s := &soc.SOC{}
+	totalCores := -1
+	for {
+		tok := p.next()
+		if tok == nil {
+			break
+		}
+		switch tok[0] {
+		case "SocName":
+			if len(tok) != 2 {
+				return nil, p.errf("SocName wants 1 argument")
+			}
+			s.Name = tok[1]
+			p.consume()
+		case "PowerMax":
+			v, err := p.intArg(tok, 1)
+			if err != nil {
+				return nil, err
+			}
+			s.PowerMax = v
+			p.consume()
+		case "TotalCores":
+			v, err := p.intArg(tok, 1)
+			if err != nil {
+				return nil, err
+			}
+			totalCores = v
+			p.consume()
+		case "Core":
+			c, err := p.parseCore(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Cores = append(s.Cores, c)
+		case "Precedence":
+			a, b, err := p.twoInts(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Precedences = append(s.Precedences, soc.Precedence{Before: a, After: b})
+			p.consume()
+		case "Concurrency":
+			a, b, err := p.twoInts(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Concurrencies = append(s.Concurrencies, soc.Concurrency{A: a, B: b})
+			p.consume()
+		default:
+			return nil, p.errf("unexpected keyword %q", tok[0])
+		}
+	}
+	if err := p.scan.Err(); err != nil {
+		return nil, fmt.Errorf("socfile: %w", err)
+	}
+	if totalCores >= 0 && totalCores != len(s.Cores) {
+		return nil, fmt.Errorf("socfile: TotalCores says %d, found %d", totalCores, len(s.Cores))
+	}
+	return s, nil
+}
+
+func (p *parser) intArg(tok []string, i int) (int, error) {
+	if len(tok) != i+1 {
+		return 0, p.errf("%s wants %d argument(s)", tok[0], i)
+	}
+	v, err := strconv.Atoi(tok[i])
+	if err != nil {
+		return 0, p.errf("%s: bad integer %q", tok[0], tok[i])
+	}
+	return v, nil
+}
+
+func (p *parser) twoInts(tok []string) (int, int, error) {
+	if len(tok) != 3 {
+		return 0, 0, p.errf("%s wants 2 arguments", tok[0])
+	}
+	a, err := strconv.Atoi(tok[1])
+	if err != nil {
+		return 0, 0, p.errf("%s: bad integer %q", tok[0], tok[1])
+	}
+	b, err := strconv.Atoi(tok[2])
+	if err != nil {
+		return 0, 0, p.errf("%s: bad integer %q", tok[0], tok[2])
+	}
+	return a, b, nil
+}
+
+func (p *parser) parseCore(tok []string) (*soc.Core, error) {
+	if len(tok) != 3 {
+		return nil, p.errf("Core wants: Core <id> <name>")
+	}
+	id, err := strconv.Atoi(tok[1])
+	if err != nil {
+		return nil, p.errf("Core: bad id %q", tok[1])
+	}
+	c := &soc.Core{ID: id, Name: tok[2], Test: soc.Test{BISTEngine: -1}}
+	p.consume()
+	sawTest := false
+	for {
+		tok := p.next()
+		if tok == nil {
+			break
+		}
+		switch tok[0] {
+		case "Parent":
+			v, err := p.intArg(tok, 1)
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = v
+			p.consume()
+		case "Inputs":
+			if len(tok) != 6 || tok[2] != "Outputs" || tok[4] != "Bidirs" {
+				return nil, p.errf("want: Inputs <n> Outputs <n> Bidirs <n>")
+			}
+			var vals [3]int
+			for i, f := range []int{1, 3, 5} {
+				v, err := strconv.Atoi(tok[f])
+				if err != nil {
+					return nil, p.errf("bad integer %q", tok[f])
+				}
+				vals[i] = v
+			}
+			c.Inputs, c.Outputs, c.Bidirs = vals[0], vals[1], vals[2]
+			p.consume()
+		case "ScanChains":
+			if len(tok) < 3 || tok[2] != ":" {
+				return nil, p.errf("want: ScanChains <k> : <lengths...>")
+			}
+			k, err := strconv.Atoi(tok[1])
+			if err != nil {
+				return nil, p.errf("ScanChains: bad count %q", tok[1])
+			}
+			if len(tok) != 3+k {
+				return nil, p.errf("ScanChains: %d lengths declared, %d given", k, len(tok)-3)
+			}
+			for _, t := range tok[3:] {
+				l, err := strconv.Atoi(t)
+				if err != nil {
+					return nil, p.errf("ScanChains: bad length %q", t)
+				}
+				c.ScanChains = append(c.ScanChains, l)
+			}
+			p.consume()
+		case "Test":
+			if err := p.parseTest(tok, c); err != nil {
+				return nil, err
+			}
+			sawTest = true
+			p.consume()
+		default:
+			// Start of the next top-level element: core is finished.
+			if !sawTest {
+				return nil, p.errf("core %d (%s) has no Test line", c.ID, c.Name)
+			}
+			return c, nil
+		}
+	}
+	if !sawTest {
+		return nil, p.errf("core %d (%s) has no Test line", c.ID, c.Name)
+	}
+	return c, nil
+}
+
+func (p *parser) parseTest(tok []string, c *soc.Core) error {
+	i := 1
+	for i < len(tok) {
+		key := tok[i]
+		if i+1 >= len(tok) {
+			return p.errf("Test: key %q has no value", key)
+		}
+		val := tok[i+1]
+		switch key {
+		case "Patterns":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return p.errf("Test Patterns: bad integer %q", val)
+			}
+			c.Test.Patterns = v
+		case "Kind":
+			switch val {
+			case "scan":
+				c.Test.Kind = soc.ScanTest
+			case "bist":
+				c.Test.Kind = soc.BISTTest
+			default:
+				return p.errf("Test Kind: want scan|bist, got %q", val)
+			}
+		case "Engine":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return p.errf("Test Engine: bad integer %q", val)
+			}
+			c.Test.BISTEngine = v
+		case "Power":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return p.errf("Test Power: bad integer %q", val)
+			}
+			c.Test.Power = v
+		default:
+			return p.errf("Test: unknown key %q", key)
+		}
+		i += 2
+	}
+	return nil
+}
+
+// Write serializes the SOC in the package grammar. The output is stable:
+// cores in ID order, constraints in input order.
+func Write(w io.Writer, s *soc.SOC) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SocName %s\n", s.Name)
+	if s.PowerMax > 0 {
+		fmt.Fprintf(bw, "PowerMax %d\n", s.PowerMax)
+	}
+	fmt.Fprintf(bw, "TotalCores %d\n", len(s.Cores))
+	cores := append([]*soc.Core(nil), s.Cores...)
+	sort.Slice(cores, func(i, j int) bool { return cores[i].ID < cores[j].ID })
+	for _, c := range cores {
+		fmt.Fprintf(bw, "\nCore %d %s\n", c.ID, c.Name)
+		if c.Parent != 0 {
+			fmt.Fprintf(bw, "  Parent %d\n", c.Parent)
+		}
+		fmt.Fprintf(bw, "  Inputs %d Outputs %d Bidirs %d\n", c.Inputs, c.Outputs, c.Bidirs)
+		if len(c.ScanChains) > 0 {
+			fmt.Fprintf(bw, "  ScanChains %d :", len(c.ScanChains))
+			for _, l := range c.ScanChains {
+				fmt.Fprintf(bw, " %d", l)
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "  Test Patterns %d", c.Test.Patterns)
+		if c.Test.Kind != soc.ScanTest {
+			fmt.Fprintf(bw, " Kind %s", c.Test.Kind)
+		}
+		if c.Test.BISTEngine >= 0 {
+			fmt.Fprintf(bw, " Engine %d", c.Test.BISTEngine)
+		}
+		if c.Test.Power > 0 {
+			fmt.Fprintf(bw, " Power %d", c.Test.Power)
+		}
+		fmt.Fprintln(bw)
+	}
+	if len(s.Precedences) > 0 || len(s.Concurrencies) > 0 {
+		fmt.Fprintln(bw)
+	}
+	for _, pc := range s.Precedences {
+		fmt.Fprintf(bw, "Precedence %d %d\n", pc.Before, pc.After)
+	}
+	for _, cc := range s.Concurrencies {
+		fmt.Fprintf(bw, "Concurrency %d %d\n", cc.A, cc.B)
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes the SOC to the named file.
+func WriteFile(path string, s *soc.SOC) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

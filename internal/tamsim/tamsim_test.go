@@ -1,0 +1,180 @@
+package tamsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/soc"
+)
+
+func schedule(t *testing.T, s *soc.SOC, p sched.Params) *sched.Schedule {
+	t.Helper()
+	sch, err := sched.SweepBest(s, p, []int{5, 10}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestSimulateDemoBitLevel(t *testing.T) {
+	s := bench.Demo()
+	sch := schedule(t, s, sched.Params{TAMWidth: 16})
+	res, err := Simulate(s, sch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitLevelCores != len(s.Cores) {
+		t.Fatalf("bit-level %d/%d cores; demo SOC is small enough for all", res.BitLevelCores, len(s.Cores))
+	}
+	if res.MeasuredMakespan != sch.Makespan {
+		t.Fatalf("measured %d vs schedule %d", res.MeasuredMakespan, sch.Makespan)
+	}
+	if res.DataVolume != int64(sch.TAMWidth)*sch.Makespan {
+		t.Fatalf("data volume %d != W·T", res.DataVolume)
+	}
+	if res.PerPinDepth != sch.Makespan {
+		t.Fatalf("per-pin depth %d != makespan", res.PerPinDepth)
+	}
+	for id, cr := range res.Cores {
+		if cr.MismatchedResponses != 0 {
+			t.Fatalf("core %d: %d mismatched responses", id, cr.MismatchedResponses)
+		}
+	}
+	if res.PayloadEfficiency() <= 0 {
+		t.Fatalf("payload efficiency %v", res.PayloadEfficiency())
+	}
+}
+
+func TestSimulateRespectsBitLevelCap(t *testing.T) {
+	s := bench.Demo()
+	sch := schedule(t, s, sched.Params{TAMWidth: 16})
+	res, err := Simulate(s, sch, Options{BitLevelMaxBits: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitLevelCores != 0 {
+		t.Fatalf("bit-level disabled but %d cores simulated", res.BitLevelCores)
+	}
+	res2, err := Simulate(s, sch, Options{BitLevelMaxBits: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BitLevelCores == 0 || res2.BitLevelCores == len(s.Cores) {
+		t.Logf("cap produced %d/%d bit-level cores", res2.BitLevelCores, len(s.Cores))
+	}
+}
+
+func TestSimulatePreemptiveCycleAccounting(t *testing.T) {
+	s := bench.P22810Like()
+	mp, err := sched.LargerCorePreemptions(s, sched.DefaultMaxWidth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := sched.SweepBest(s, sched.Params{
+		TAMWidth:       48,
+		MaxPreemptions: mp,
+		PowerMax:       sched.DefaultPowerBudget(s, 110),
+	}, []int{8}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(s, sch, Options{BitLevelMaxBits: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preempted cores are cycle-verified (timing model plus penalties).
+	for id, a := range sch.Assignments {
+		if a.Preemptions > 0 && res.Cores[id].BitLevel {
+			t.Fatalf("preempted core %d was bit-level simulated", id)
+		}
+	}
+}
+
+func TestSimulateDetectsTampering(t *testing.T) {
+	s := bench.Demo()
+	sch := schedule(t, s, sched.Params{TAMWidth: 16})
+
+	// Shorten one piece: cycle accounting must fail.
+	var victim int
+	for id := range sch.Assignments {
+		victim = id
+		break
+	}
+	saved := sch.Assignments[victim].Pieces[0].End
+	sch.Assignments[victim].Pieces[0].End = saved - 1
+	if _, err := Simulate(s, sch, Options{}); err == nil {
+		t.Fatal("shortened piece accepted")
+	}
+	sch.Assignments[victim].Pieces[0].End = saved
+
+	// Makespan lie.
+	sch.Makespan++
+	if _, err := Simulate(s, sch, Options{}); err == nil {
+		t.Fatal("wrong makespan accepted")
+	}
+	sch.Makespan--
+}
+
+func TestSimulateDetectsBISTOverlap(t *testing.T) {
+	// Build a fake schedule where two cores sharing engine 0 overlap.
+	s := &soc.SOC{
+		Name: "bistclash",
+		Cores: []*soc.Core{
+			{ID: 1, Name: "m0", Inputs: 2, Outputs: 2, ScanChains: []int{10}, Test: soc.Test{Patterns: 5, Kind: soc.BISTTest, BISTEngine: 0}},
+			{ID: 2, Name: "m1", Inputs: 2, Outputs: 2, ScanChains: []int{10}, Test: soc.Test{Patterns: 5, Kind: soc.BISTTest, BISTEngine: 0}},
+		},
+	}
+	sch, err := sched.Run(s, sched.Params{TAMWidth: 8, Percent: 5, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real schedule serializes them; force an overlap.
+	a1, a2 := sch.Assignments[1], sch.Assignments[2]
+	shift := a2.Pieces[0].Start - a1.Pieces[0].Start
+	a2.Pieces[0].Start -= shift
+	a2.Pieces[0].End -= shift
+	if _, err := Simulate(s, sch, Options{}); err == nil || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("BIST overlap not detected: %v", err)
+	}
+}
+
+func TestSimulateD695AllWidths(t *testing.T) {
+	s := bench.D695()
+	for _, w := range []int{16, 64} {
+		sch := schedule(t, s, sched.Params{TAMWidth: w})
+		res, err := Simulate(s, sch, Options{})
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if res.BitLevelCores == 0 {
+			t.Fatalf("W=%d: no bit-level verification happened", w)
+		}
+	}
+}
+
+// TestTimingModelAgreesBitLevel pins the formula T = (1+max)·p + min
+// against the cycle-by-cycle walk for assorted wrapper shapes.
+func TestTimingModelAgreesBitLevel(t *testing.T) {
+	shapes := []*soc.Core{
+		{ID: 1, Name: "bal", Inputs: 4, Outputs: 4, ScanChains: []int{20, 20}, Test: soc.Test{Patterns: 9, BISTEngine: -1}},
+		{ID: 2, Name: "skewIn", Inputs: 30, Outputs: 1, ScanChains: []int{8}, Test: soc.Test{Patterns: 5, BISTEngine: -1}},
+		{ID: 3, Name: "skewOut", Inputs: 1, Outputs: 30, ScanChains: []int{8}, Test: soc.Test{Patterns: 5, BISTEngine: -1}},
+		{ID: 4, Name: "comb", Inputs: 12, Outputs: 7, Test: soc.Test{Patterns: 11, BISTEngine: -1}},
+		{ID: 5, Name: "bidir", Inputs: 3, Outputs: 3, Bidirs: 5, ScanChains: []int{6, 4}, Test: soc.Test{Patterns: 7, BISTEngine: -1}},
+	}
+	for _, c := range shapes {
+		one := &soc.SOC{Name: "one", Cores: []*soc.Core{c}}
+		id := c.ID
+		c.ID = 1
+		sch, err := sched.Run(one, sched.Params{TAMWidth: 4, Percent: 5, Delta: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if _, err := Simulate(one, sch, Options{}); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		c.ID = id
+	}
+}

@@ -1,0 +1,299 @@
+// Package wrapperrtl elaborates a wrapper design (internal/wrapper) into a
+// structural, IEEE 1500-style hardware description: a Wrapper Instruction
+// Register (WIR), a Wrapper Bypass register (WBY), and per-TAM-wire
+// wrapper chains stitched from Wrapper Boundary Register (WBR) cells and
+// the core's internal scan chains. The result can be inspected, costed
+// (cell/mux/flop counts), checked for serial-path consistency, and emitted
+// as a synthesizable-shaped Verilog module — the hardware the DAC 2002
+// framework's wrapper/TAM co-optimization actually implies.
+package wrapperrtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/soc"
+	"repro/internal/wrapper"
+)
+
+// CellKind labels one element on a wrapper chain's serial path.
+type CellKind int
+
+const (
+	// InputCell is a WBR cell on a functional core input.
+	InputCell CellKind = iota
+	// OutputCell is a WBR cell on a functional core output.
+	OutputCell
+	// BidirCell is a WBR cell on a bidirectional terminal.
+	BidirCell
+	// ScanSegment is one of the core's internal scan chains (a multi-bit
+	// segment on the path).
+	ScanSegment
+)
+
+// String returns the kind's mnemonic.
+func (k CellKind) String() string {
+	switch k {
+	case InputCell:
+		return "wbr_in"
+	case OutputCell:
+		return "wbr_out"
+	case BidirCell:
+		return "wbr_bidir"
+	case ScanSegment:
+		return "scan"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+}
+
+// Element is one stop on a wrapper chain's serial path.
+type Element struct {
+	Kind CellKind
+	// Index identifies the terminal (for WBR cells) or the internal scan
+	// chain (for ScanSegment), within its respective namespace.
+	Index int
+	// Bits is the element's serial length (1 for WBR cells).
+	Bits int
+}
+
+// ChainRTL is the elaborated serial path for one TAM wire: input cells
+// first, then internal scan segments, then output cells (bidir cells sit
+// on both the stimulus and observation portions; structurally they are
+// placed between inputs and scan).
+type ChainRTL struct {
+	// Wire is the chain index (= the TAM wire it terminates).
+	Wire int
+	// Path is the serial order from scan-in terminal to scan-out terminal.
+	Path []Element
+}
+
+// Length returns the chain's total serial length in bits.
+func (c *ChainRTL) Length() int {
+	n := 0
+	for _, e := range c.Path {
+		n += e.Bits
+	}
+	return n
+}
+
+// Module is the elaborated wrapper for one core.
+type Module struct {
+	// CoreName and CoreID identify the wrapped core.
+	CoreName string
+	CoreID   int
+	// TAMWidth is the number of wrapper chains / TAM terminals.
+	TAMWidth int
+	// Chains holds the per-wire serial paths.
+	Chains []ChainRTL
+	// WIRBits is the instruction register width (1500 instructions:
+	// WS_BYPASS, WS_EXTEST, WS_INTEST_SCAN — 2 bits suffice; kept explicit
+	// for costing).
+	WIRBits int
+}
+
+// Instruction opcodes held in the WIR.
+const (
+	OpBypass = 0 // WS_BYPASS: TAM passes through the 1-bit WBY
+	OpExtest = 1 // WS_EXTEST: WBR drives/observes the core's neighbourhood
+	OpIntest = 2 // WS_INTEST_SCAN: wrapper chains test the core itself
+)
+
+// Elaborate builds the structural wrapper from a wrapper.Design. The
+// element order per chain is: input cells, bidir cells, internal scan
+// chains (in design order), output cells.
+func Elaborate(c *soc.Core, d *wrapper.Design) (*Module, error) {
+	if err := d.Validate(c); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		CoreName: c.Name,
+		CoreID:   c.ID,
+		TAMWidth: d.Width,
+		WIRBits:  2,
+	}
+	// Terminal indices are handed out in chain order so every functional
+	// terminal gets exactly one WBR cell.
+	nextIn, nextOut, nextBidir := 0, 0, 0
+	for w := range d.Chains {
+		ch := &d.Chains[w]
+		rtl := ChainRTL{Wire: w}
+		for i := 0; i < ch.InputCells; i++ {
+			rtl.Path = append(rtl.Path, Element{Kind: InputCell, Index: nextIn, Bits: 1})
+			nextIn++
+		}
+		for i := 0; i < ch.BidirCells; i++ {
+			rtl.Path = append(rtl.Path, Element{Kind: BidirCell, Index: nextBidir, Bits: 1})
+			nextBidir++
+		}
+		for _, sc := range ch.ScanChains {
+			rtl.Path = append(rtl.Path, Element{Kind: ScanSegment, Index: sc, Bits: c.ScanChains[sc]})
+		}
+		for i := 0; i < ch.OutputCells; i++ {
+			rtl.Path = append(rtl.Path, Element{Kind: OutputCell, Index: nextOut, Bits: 1})
+			nextOut++
+		}
+		m.Chains = append(m.Chains, rtl)
+	}
+	return m, nil
+}
+
+// Cost summarizes the wrapper's hardware overhead.
+type Cost struct {
+	// WBRCells counts boundary register cells (one flop + one mux each).
+	WBRCells int
+	// Flops counts all wrapper-added flip-flops (WBR + WBY + WIR).
+	Flops int
+	// Muxes counts the path-select muxes: one per WBR cell, one per chain
+	// head (TAM/functional select), one for the bypass.
+	Muxes int
+}
+
+// Cost computes the hardware overhead of the elaborated wrapper.
+func (m *Module) Cost() Cost {
+	var c Cost
+	for i := range m.Chains {
+		for _, e := range m.Chains[i].Path {
+			if e.Kind != ScanSegment {
+				c.WBRCells += e.Bits
+			}
+		}
+	}
+	c.Flops = c.WBRCells + 1 /* WBY */ + m.WIRBits
+	c.Muxes = c.WBRCells + len(m.Chains) + 1
+	return c
+}
+
+// Validate checks structural consistency against the core: every terminal
+// has exactly one WBR cell, every internal scan chain appears exactly
+// once, and chain lengths reconstruct the design's scan-in/scan-out maxima.
+func (m *Module) Validate(c *soc.Core, d *wrapper.Design) error {
+	in, out, bid := 0, 0, 0
+	seenScan := make(map[int]bool)
+	for i := range m.Chains {
+		ch := &m.Chains[i]
+		si, so := 0, 0
+		afterScan := false
+		for _, e := range ch.Path {
+			switch e.Kind {
+			case InputCell:
+				if afterScan {
+					return fmt.Errorf("wrapperrtl: %s chain %d: input cell after scan segment", m.CoreName, i)
+				}
+				in++
+				si += e.Bits
+			case BidirCell:
+				bid++
+				si += e.Bits
+				so += e.Bits
+			case OutputCell:
+				out++
+				so += e.Bits
+			case ScanSegment:
+				if seenScan[e.Index] {
+					return fmt.Errorf("wrapperrtl: %s: scan chain %d stitched twice", m.CoreName, e.Index)
+				}
+				if e.Bits != c.ScanChains[e.Index] {
+					return fmt.Errorf("wrapperrtl: %s: scan chain %d has %d bits, core says %d",
+						m.CoreName, e.Index, e.Bits, c.ScanChains[e.Index])
+				}
+				seenScan[e.Index] = true
+				afterScan = true
+				si += e.Bits
+				so += e.Bits
+			}
+		}
+		if si > d.ScanInMax || so > d.ScanOutMax {
+			return fmt.Errorf("wrapperrtl: %s chain %d: si/so %d/%d exceed design maxima %d/%d",
+				m.CoreName, i, si, so, d.ScanInMax, d.ScanOutMax)
+		}
+	}
+	if in != c.Inputs || out != c.Outputs || bid != c.Bidirs {
+		return fmt.Errorf("wrapperrtl: %s: WBR cells in/out/bidir = %d/%d/%d, want %d/%d/%d",
+			m.CoreName, in, out, bid, c.Inputs, c.Outputs, c.Bidirs)
+	}
+	if len(seenScan) != len(c.ScanChains) {
+		return fmt.Errorf("wrapperrtl: %s: %d scan chains stitched, want %d", m.CoreName, len(seenScan), len(c.ScanChains))
+	}
+	return nil
+}
+
+// WriteVerilog emits the wrapper as a structural Verilog module: TAM
+// terminals, WIR/WBY, and one generate block per wrapper chain. The
+// output is synthesizable-shaped (flops and muxes, no behavioural
+// shortcuts) and intended for inspection and downstream tooling, not
+// tape-out.
+func (m *Module) WriteVerilog(w io.Writer) error {
+	name := sanitize(m.CoreName)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Auto-generated IEEE 1500-style wrapper for core %s (TAM width %d)\n", m.CoreName, m.TAMWidth)
+	fmt.Fprintf(&b, "module wrapper_%s (\n", name)
+	fmt.Fprintf(&b, "  input  wire                 wrck,      // wrapper clock\n")
+	fmt.Fprintf(&b, "  input  wire                 wrstn,     // async reset, active low\n")
+	fmt.Fprintf(&b, "  input  wire                 selectwir, // WIR shift select\n")
+	fmt.Fprintf(&b, "  input  wire                 shiftwr,   // shift enable\n")
+	fmt.Fprintf(&b, "  input  wire                 capturewr, // capture enable\n")
+	fmt.Fprintf(&b, "  input  wire [%d:0]           tam_in,    // TAM scan-in terminals\n", m.TAMWidth-1)
+	fmt.Fprintf(&b, "  output wire [%d:0]           tam_out    // TAM scan-out terminals\n", m.TAMWidth-1)
+	fmt.Fprintf(&b, ");\n\n")
+	fmt.Fprintf(&b, "  reg  [%d:0] wir;      // %d-bit instruction register\n", m.WIRBits-1, m.WIRBits)
+	fmt.Fprintf(&b, "  reg        wby;      // 1-bit bypass register\n")
+	fmt.Fprintf(&b, "  wire intest = (wir == %d'd%d);\n", m.WIRBits, OpIntest)
+	fmt.Fprintf(&b, "  wire extest = (wir == %d'd%d);\n\n", m.WIRBits, OpExtest)
+	fmt.Fprintf(&b, "  always @(posedge wrck or negedge wrstn)\n")
+	fmt.Fprintf(&b, "    if (!wrstn) wir <= %d'd%d;\n", m.WIRBits, OpBypass)
+	fmt.Fprintf(&b, "    else if (selectwir && shiftwr) wir <= {tam_in[0], wir[%d:1]};\n\n", m.WIRBits-1)
+	fmt.Fprintf(&b, "  always @(posedge wrck) wby <= tam_in[0];\n\n")
+
+	for i := range m.Chains {
+		ch := &m.Chains[i]
+		n := ch.Length()
+		if n == 0 {
+			fmt.Fprintf(&b, "  // chain %d: empty (unused TAM wire)\n", i)
+			fmt.Fprintf(&b, "  assign tam_out[%d] = tam_in[%d];\n\n", i, i)
+			continue
+		}
+		fmt.Fprintf(&b, "  // chain %d: %d bits (%s)\n", i, n, describePath(ch))
+		fmt.Fprintf(&b, "  reg [%d:0] chain%d;\n", n-1, i)
+		fmt.Fprintf(&b, "  always @(posedge wrck)\n")
+		fmt.Fprintf(&b, "    if (shiftwr && intest) chain%d <= {tam_in[%d], chain%d[%d:1]};\n", i, i, i, n-1)
+		fmt.Fprintf(&b, "    else if (capturewr) chain%d <= chain%d; // capture stitched to core logic\n", i, i)
+		fmt.Fprintf(&b, "  assign tam_out[%d] = intest ? chain%d[0] : wby;\n\n", i, i)
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func describePath(ch *ChainRTL) string {
+	var parts []string
+	for _, e := range ch.Path {
+		if e.Kind == ScanSegment {
+			parts = append(parts, fmt.Sprintf("scan%d[%d]", e.Index, e.Bits))
+		} else {
+			parts = append(parts, e.Kind.String())
+		}
+	}
+	const max = 6
+	if len(parts) > max {
+		parts = append(parts[:max], fmt.Sprintf("... %d more", len(parts)-max))
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "core"
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package wrapperrtl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/soc"
+	"repro/internal/wrapper"
+)
+
+func testCore() *soc.Core {
+	return &soc.Core{
+		ID: 7, Name: "accel-1", Inputs: 5, Outputs: 4, Bidirs: 2,
+		ScanChains: []int{12, 9, 6},
+		Test:       soc.Test{Patterns: 10, BISTEngine: -1},
+	}
+}
+
+func elaborate(t *testing.T, c *soc.Core, w int) (*Module, *wrapper.Design) {
+	t.Helper()
+	d, err := wrapper.DesignWrapper(c, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Elaborate(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestElaborateStructure(t *testing.T) {
+	c := testCore()
+	m, d := elaborate(t, c, 3)
+	if err := m.Validate(c, d); err != nil {
+		t.Fatal(err)
+	}
+	if m.TAMWidth != 3 || len(m.Chains) != 3 {
+		t.Fatalf("chain count %d, want 3", len(m.Chains))
+	}
+	// Total serial bits = all WBR cells + all scan bits.
+	total := 0
+	for i := range m.Chains {
+		total += m.Chains[i].Length()
+	}
+	want := c.Inputs + c.Outputs + c.Bidirs + c.ScanBits()
+	if total != want {
+		t.Fatalf("total serial bits %d, want %d", total, want)
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := testCore()
+	m, _ := elaborate(t, c, 2)
+	cost := m.Cost()
+	if cost.WBRCells != c.Inputs+c.Outputs+c.Bidirs {
+		t.Fatalf("WBR cells %d, want %d", cost.WBRCells, c.Inputs+c.Outputs+c.Bidirs)
+	}
+	if cost.Flops != cost.WBRCells+1+m.WIRBits {
+		t.Fatalf("flops %d", cost.Flops)
+	}
+	if cost.Muxes != cost.WBRCells+2+1 {
+		t.Fatalf("muxes %d", cost.Muxes)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := testCore()
+	m, d := elaborate(t, c, 2)
+	// Duplicate a scan segment.
+	for i := range m.Chains {
+		for j, e := range m.Chains[i].Path {
+			if e.Kind == ScanSegment {
+				m.Chains[i].Path = append(m.Chains[i].Path, m.Chains[i].Path[j])
+				if err := m.Validate(c, d); err == nil {
+					t.Fatal("duplicated scan segment accepted")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no scan segment found")
+}
+
+func TestValidateCatchesCellMiscount(t *testing.T) {
+	c := testCore()
+	m, d := elaborate(t, c, 2)
+	m.Chains[0].Path = append(m.Chains[0].Path, Element{Kind: OutputCell, Index: 99, Bits: 1})
+	if err := m.Validate(c, d); err == nil {
+		t.Fatal("extra WBR cell accepted")
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	c := testCore()
+	m, _ := elaborate(t, c, 3)
+	var buf bytes.Buffer
+	if err := m.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module wrapper_accel_1",
+		"endmodule",
+		"wir", "wby", "tam_in", "tam_out",
+		"chain0", "chain1", "chain2",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%.400s", want, v)
+		}
+	}
+	// Balanced module/endmodule and no illegal identifier from the name.
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("module structure wrong")
+	}
+	if strings.Contains(v, "accel-1") && strings.Contains(v, "module wrapper_accel-1") {
+		t.Fatal("unsanitized identifier")
+	}
+}
+
+func TestEmptyChainBecomesFeedthrough(t *testing.T) {
+	// A combinational core with fewer cells than TAM wires leaves empty
+	// chains; the RTL must pass those wires through.
+	c := &soc.Core{ID: 1, Name: "tiny", Inputs: 1, Outputs: 1, Test: soc.Test{Patterns: 1, BISTEngine: -1}}
+	m, d := elaborate(t, c, 4)
+	if err := m.Validate(c, d); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty (unused TAM wire)") {
+		t.Fatal("empty chain not emitted as feedthrough")
+	}
+}
+
+// Property: elaboration validates for random cores across widths, and the
+// serial lengths reconstruct the wrapper design's si/so maxima.
+func TestElaborationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := &soc.Core{
+			ID: 1, Name: "r",
+			Inputs:  rng.Intn(20),
+			Outputs: rng.Intn(20),
+			Bidirs:  rng.Intn(6),
+			Test:    soc.Test{Patterns: 1 + rng.Intn(50), BISTEngine: -1},
+		}
+		for j := rng.Intn(6); j > 0; j-- {
+			c.ScanChains = append(c.ScanChains, 1+rng.Intn(40))
+		}
+		if c.Inputs+c.Outputs+c.Bidirs+len(c.ScanChains) == 0 {
+			c.Inputs = 1
+		}
+		w := 1 + rng.Intn(8)
+		d, err := wrapper.DesignWrapper(c, w)
+		if err != nil {
+			return false
+		}
+		m, err := Elaborate(c, d)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := m.Validate(c, d); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		var buf bytes.Buffer
+		return m.WriteVerilog(&buf) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if InputCell.String() != "wbr_in" || ScanSegment.String() != "scan" {
+		t.Fatal("kind strings wrong")
+	}
+	if !strings.Contains(CellKind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
