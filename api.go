@@ -68,7 +68,9 @@ func Schedule(s *SOC, opts Options) (*TestSchedule, error) {
 }
 
 // ScheduleBest sweeps the (α, δ) parameter grid and returns the schedule
-// with the smallest SOC testing time.
+// with the smallest SOC testing time. The grid points are independent
+// scheduler runs fanned out over opts.Workers goroutines (0 = all CPUs,
+// 1 = sequential); the result is identical either way.
 func ScheduleBest(s *SOC, opts Options) (*TestSchedule, error) {
 	return sched.SweepBest(s, opts, nil, nil)
 }
@@ -109,9 +111,17 @@ func LowerBound(s *SOC, w int) (int64, error) {
 }
 
 // SweepWidths schedules the SOC at every TAM width in [lo, hi] and returns
-// the T(W)/D(W) sweep behind the paper's Fig. 9 and Table 2.
+// the T(W)/D(W) sweep behind the paper's Fig. 9 and Table 2. Widths are
+// scheduled concurrently across all CPUs; the sweep is deterministic
+// regardless of parallelism. Use SweepWidthsWorkers to bound the fan-out.
 func SweepWidths(s *SOC, lo, hi int) (*WidthSweep, error) {
-	return datavol.Run(s, datavol.Config{WidthLo: lo, WidthHi: hi})
+	return SweepWidthsWorkers(s, lo, hi, 0)
+}
+
+// SweepWidthsWorkers is SweepWidths with an explicit concurrency bound:
+// workers = 0 uses all CPUs, 1 forces the sequential path.
+func SweepWidthsWorkers(s *SOC, lo, hi, workers int) (*WidthSweep, error) {
+	return datavol.Run(s, datavol.Config{WidthLo: lo, WidthHi: hi, Workers: workers})
 }
 
 // PickEffectiveWidth minimizes the normalized cost C(γ,W) over a sweep.

@@ -39,7 +39,7 @@ func benchTable1(b *testing.B, name string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(s, table1Percents, table1Deltas)
+		rows, err := experiments.Table1(s, table1Percents, table1Deltas, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func BenchmarkFig9SweepP22810(b *testing.B) {
 	s := bench.P22810Like()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f9, err := experiments.Fig9Sweep(s, 12, 72, []int{1, 10, 30}, []int{0, 1})
+		f9, err := experiments.Fig9Sweep(s, 12, 72, []int{1, 10, 30}, []int{0, 1}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func benchTable2(b *testing.B, name string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f9, err := experiments.Fig9Sweep(s, 12, 64, []int{1, 10, 30}, []int{0, 1})
+		f9, err := experiments.Fig9Sweep(s, 12, 64, []int{1, 10, 30}, []int{0, 1}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func benchTable2(b *testing.B, name string) {
 // BenchmarkAblationDelta regenerates the §6 p34392 bottleneck narrative.
 func BenchmarkAblationDelta(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationDelta(10)
+		rows, err := experiments.AblationDelta(10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func BenchmarkAblationDelta(b *testing.B) {
 func BenchmarkAblationBaselines(b *testing.B) {
 	s := bench.D695()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Baselines(s, []int{16, 32, 64}, 3, table1Percents, table1Deltas)
+		rows, err := experiments.Baselines(s, []int{16, 32, 64}, 3, table1Percents, table1Deltas, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkAblationBaselines(b *testing.B) {
 func BenchmarkAblationHeuristics(b *testing.B) {
 	s := bench.D695()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationHeuristics(s, []int{32}, table1Percents, table1Deltas); err != nil {
+		if _, err := experiments.AblationHeuristics(s, []int{32}, table1Percents, table1Deltas, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -214,6 +214,33 @@ func BenchmarkSimulateD695(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := tamsim.Simulate(s, sch, tamsim.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataVolRunD695WorkersN measures the Problem-3 width sweep on
+// d695 at fixed worker counts: the Workers1 variant is the sequential
+// baseline, Workers4 the parallel engine. On a multi-core host the
+// Workers4 run is expected to be >= 2x faster wall-clock; on a single
+// hardware thread both degenerate to the same work. The two variants
+// return identical sweeps (asserted by TestSweepWidthsDeterministic).
+func BenchmarkDataVolRunD695Workers1(b *testing.B) { benchDataVolRunD695(b, 1) }
+func BenchmarkDataVolRunD695Workers4(b *testing.B) { benchDataVolRunD695(b, 4) }
+
+func benchDataVolRunD695(b *testing.B, workers int) {
+	s := bench.D695()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := datavol.Run(s, datavol.Config{
+			WidthLo: 8, WidthHi: 56,
+			Percents: table1Percents, Deltas: table1Deltas,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sw.MinVolume <= 0 {
+			b.Fatal("no volume minimum")
 		}
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
 		socName  = flag.String("soc", "", "restrict to one SOC (default: all four)")
 		quick    = flag.Bool("quick", false, "smaller sweep ranges (coarser widths, reduced grid)")
+		workers  = flag.Int("workers", 0, "concurrent scheduler runs per sweep (0 = all CPUs, 1 = sequential)")
 		all      = flag.Bool("all", false, "regenerate everything")
 	)
 	flag.Parse()
@@ -45,11 +46,11 @@ func main() {
 	ran := false
 	if *all || *table == "1" {
 		ran = true
-		runTable1(socs)
+		runTable1(socs, *workers)
 	}
 	if *all || *table == "2" {
 		ran = true
-		runTable2(socs, *quick)
+		runTable2(socs, *quick, *workers)
 	}
 	if *all || *fig == "1" {
 		ran = true
@@ -61,19 +62,19 @@ func main() {
 		if *all {
 			which = ""
 		}
-		runFig9(socs, which, *quick)
+		runFig9(socs, which, *quick, *workers)
 	}
 	if *all || *ablation == "delta" {
 		ran = true
-		runAblationDelta()
+		runAblationDelta(*workers)
 	}
 	if *all || *ablation == "baseline" {
 		ran = true
-		runAblationBaseline(socs)
+		runAblationBaseline(socs, *workers)
 	}
 	if *all || *ablation == "heuristics" {
 		ran = true
-		runAblationHeuristics(socs)
+		runAblationHeuristics(socs, *workers)
 	}
 	if !ran {
 		flag.Usage()
@@ -92,13 +93,13 @@ func pickSOCs(name string) ([]*soc.SOC, error) {
 	return []*soc.SOC{s}, nil
 }
 
-func runTable1(socs []*soc.SOC) {
+func runTable1(socs []*soc.SOC, workers int) {
 	t := &report.Table{
 		Title:   "Table 1: wrapper/TAM co-optimization and test scheduling (cycles)",
 		Headers: []string{"SOC", "W", "lower bound", "non-preemptive", "preemptive", "preempt+power", "power budget"},
 	}
 	for _, s := range socs {
-		rows, err := experiments.Table1(s, nil, nil)
+		rows, err := experiments.Table1(s, nil, nil, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,13 +110,13 @@ func runTable1(socs []*soc.SOC) {
 	mustRender(t)
 }
 
-func runTable2(socs []*soc.SOC, quick bool) {
+func runTable2(socs []*soc.SOC, quick bool, workers int) {
 	lo, hi := 4, 80
 	if quick {
 		lo, hi = 8, 72
 	}
 	for _, s := range socs {
-		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil)
+		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,13 +152,13 @@ func runFig1() {
 	}
 }
 
-func runFig9(socs []*soc.SOC, which string, quick bool) {
+func runFig9(socs []*soc.SOC, which string, quick bool, workers int) {
 	lo, hi := 4, 80
 	if quick {
 		lo, hi = 8, 72
 	}
 	for _, s := range socs {
-		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil)
+		f9, err := experiments.Fig9Sweep(s, lo, hi, grid(quick), nil, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -195,8 +196,8 @@ func runFig9(socs []*soc.SOC, which string, quick bool) {
 	}
 }
 
-func runAblationDelta() {
-	rows, err := experiments.AblationDelta(10)
+func runAblationDelta(workers int) {
+	rows, err := experiments.AblationDelta(10, workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -210,13 +211,13 @@ func runAblationDelta() {
 	mustRender(t)
 }
 
-func runAblationBaseline(socs []*soc.SOC) {
+func runAblationBaseline(socs []*soc.SOC, workers int) {
 	t := &report.Table{
 		Title:   "Ablation: flexible-width packing vs fixed-width TAMs vs shelf packing (cycles)",
 		Headers: []string{"SOC", "W", "flexible", "fixed-width", "buses", "NFDH", "FFDH"},
 	}
 	for _, s := range socs {
-		rows, err := experiments.Baselines(s, nil, 3, nil, nil)
+		rows, err := experiments.Baselines(s, nil, 3, nil, nil, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -227,13 +228,13 @@ func runAblationBaseline(socs []*soc.SOC) {
 	mustRender(t)
 }
 
-func runAblationHeuristics(socs []*soc.SOC) {
+func runAblationHeuristics(socs []*soc.SOC, workers int) {
 	t := &report.Table{
 		Title:   "Ablation: idle-time insertion and width-growing heuristics (cycles)",
 		Headers: []string{"SOC", "W", "full", "no insertion", "no widening", "neither"},
 	}
 	for _, s := range socs {
-		rows, err := experiments.AblationHeuristics(s, nil, nil, nil)
+		rows, err := experiments.AblationHeuristics(s, nil, nil, nil, workers)
 		if err != nil {
 			fatal(err)
 		}

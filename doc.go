@@ -30,4 +30,17 @@
 // bench, report, experiments); this package re-exports the surface a
 // downstream user needs. The cmd/ tools regenerate every table and figure
 // of the paper; see DESIGN.md and EXPERIMENTS.md.
+//
+// # Concurrency
+//
+// A sched.Optimizer is safe for concurrent use: once constructed it holds
+// only the SOC and immutable per-core Pareto sets, and every scheduling
+// run allocates its own mutable state. The parameter sweeps exploit this —
+// ScheduleBest fans the (α, δ, slack) grid and SweepWidths fans the TAM
+// width range out over a worker pool. The fan-out is bounded by the
+// Workers knob (Options.Workers, or the workers argument of
+// SweepWidthsWorkers): 0 uses GOMAXPROCS, 1 forces the sequential path.
+// Parallel sweeps are deterministic: results are collected per grid point
+// and compared in grid order, so the returned schedule or sweep is
+// identical to the sequential one for any worker count.
 package repro

@@ -17,6 +17,7 @@ package datavol
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/sched"
 	"repro/internal/soc"
@@ -59,10 +60,22 @@ type Config struct {
 	// Percents, Deltas optionally override the per-width parameter grid
 	// used to pick the best schedule (defaults: paper grid).
 	Percents, Deltas []int
+	// Workers bounds the number of widths scheduled concurrently: 0 means
+	// GOMAXPROCS, 1 forces the fully sequential path. Every width is an
+	// independent scheduler run against a shared read-only Optimizer, and
+	// samples are collected in width order, so the resulting Sweep is
+	// identical regardless of the worker count. When the width fan-out is
+	// parallel (Workers != 1) the per-width parameter-grid sweep runs
+	// sequentially to avoid oversubscribing the pool; Workers == 1 also
+	// pins the grid sweep to one worker unless Params.Workers explicitly
+	// requests grid-level parallelism.
+	Workers int
 }
 
 // Run sweeps W over the configured range, scheduling the SOC at each width
-// with the best (percent, delta) found on the grid.
+// with the best (percent, delta) found on the grid. Widths are fanned out
+// over cfg.Workers goroutines; see Config.Workers for the determinism
+// guarantee.
 func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
 	if cfg.WidthLo == 0 {
 		cfg.WidthLo = 4
@@ -77,28 +90,84 @@ func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := &Sweep{SOC: s.Name}
-	for w := cfg.WidthLo; w <= cfg.WidthHi; w++ {
+	n := cfg.WidthHi - cfg.WidthLo + 1
+	samples := make([]Sample, n)
+	errs := make([]error, n)
+	// minFail tracks the lowest failing width index so far. Widths above it
+	// are skipped — the sweep's outcome is already fixed to that error —
+	// while lower widths still run, so the error finally returned is the
+	// lowest failing width's, exactly as on the sequential path.
+	var minFail atomic.Int64
+	minFail.Store(int64(n))
+	sched.ForEach(cfg.Workers, n, func(i int) {
+		if int64(i) > minFail.Load() {
+			return
+		}
+		w := cfg.WidthLo + i
 		p := cfg.Params
 		p.TAMWidth = w
+		if cfg.Workers != 1 {
+			p.Workers = 1 // don't oversubscribe the width pool
+		} else if p.Workers == 0 {
+			p.Workers = 1 // Workers == 1 means fully sequential
+		}
 		best, err := opt.SweepBest(p, cfg.Percents, cfg.Deltas)
 		if err != nil {
-			return nil, fmt.Errorf("datavol: width %d: %v", w, err)
+			errs[i] = fmt.Errorf("datavol: width %d: %v", w, err)
+			for {
+				cur := minFail.Load()
+				if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+			return
 		}
-		smp := Sample{TAMWidth: w, Time: best.Makespan, Volume: int64(w) * best.Makespan}
-		sw.Samples = append(sw.Samples, smp)
-		if sw.MinTime == 0 || smp.Time < sw.MinTime {
-			sw.MinTime, sw.MinTimeWidth = smp.Time, w
-		}
-		if sw.MinVolume == 0 || smp.Volume < sw.MinVolume {
-			sw.MinVolume, sw.MinVolumeWidth = smp.Volume, w
-		}
+		samples[i] = Sample{TAMWidth: w, Time: best.Makespan, Volume: int64(w) * best.Makespan}
+	})
+	if m := minFail.Load(); m < int64(n) {
+		return nil, errs[m]
 	}
+	sw := &Sweep{SOC: s.Name, Samples: samples}
+	sw.finalizeMinima()
 	return sw, nil
 }
 
+// finalizeMinima recomputes MinTime/MinVolume (and their widths) from the
+// samples. The minima seed from the first sample rather than a zero
+// sentinel, so a theoretical zero-time sample cannot corrupt them.
+func (sw *Sweep) finalizeMinima() {
+	for i, smp := range sw.Samples {
+		if i == 0 || smp.Time < sw.MinTime {
+			sw.MinTime, sw.MinTimeWidth = smp.Time, smp.TAMWidth
+		}
+		if i == 0 || smp.Volume < sw.MinVolume {
+			sw.MinVolume, sw.MinVolumeWidth = smp.Volume, smp.TAMWidth
+		}
+	}
+}
+
+// checkMinima rejects sweeps whose normalization minima are unusable: an
+// empty sweep, or one built by hand / decoded from JSON with non-positive
+// MinTime or MinVolume, would otherwise yield silent ±Inf/NaN costs.
+func (sw *Sweep) checkMinima() error {
+	if len(sw.Samples) == 0 {
+		return fmt.Errorf("datavol: empty sweep")
+	}
+	if sw.MinTime <= 0 || sw.MinVolume <= 0 {
+		return fmt.Errorf("datavol: sweep %q has non-positive minima (T_min=%d, D_min=%d); cost is undefined",
+			sw.SOC, sw.MinTime, sw.MinVolume)
+	}
+	return nil
+}
+
 // Cost returns C(γ, W) for the sample, normalized by the sweep's minima.
+// It panics with a descriptive message when the sweep's minima are
+// non-positive (a hand-built or corrupt Sweep); EffectiveWidth reports the
+// same condition as an error.
 func (sw *Sweep) Cost(gamma float64, s Sample) float64 {
+	if err := sw.checkMinima(); err != nil {
+		panic(err)
+	}
 	return gamma*float64(s.Time)/float64(sw.MinTime) +
 		(1-gamma)*float64(s.Volume)/float64(sw.MinVolume)
 }
@@ -109,8 +178,12 @@ type CostPoint struct {
 	Cost     float64
 }
 
-// CostCurve evaluates the cost function at every swept width.
+// CostCurve evaluates the cost function at every swept width. Like Cost,
+// it panics when the sweep is empty or its minima are non-positive.
 func (sw *Sweep) CostCurve(gamma float64) []CostPoint {
+	if err := sw.checkMinima(); err != nil {
+		panic(err)
+	}
 	out := make([]CostPoint, len(sw.Samples))
 	for i, s := range sw.Samples {
 		out[i] = CostPoint{TAMWidth: s.TAMWidth, Cost: sw.Cost(gamma, s)}
@@ -134,8 +207,8 @@ func (sw *Sweep) EffectiveWidth(gamma float64) (Effective, error) {
 	if gamma < 0 || gamma > 1 {
 		return Effective{}, fmt.Errorf("datavol: gamma %v outside [0,1]", gamma)
 	}
-	if len(sw.Samples) == 0 {
-		return Effective{}, fmt.Errorf("datavol: empty sweep")
+	if err := sw.checkMinima(); err != nil {
+		return Effective{}, err
 	}
 	best := Effective{Gamma: gamma, CostMin: math.Inf(1)}
 	for _, s := range sw.Samples {

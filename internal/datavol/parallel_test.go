@@ -1,0 +1,111 @@
+package datavol
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunParallelMatchesSequential asserts the width fan-out is
+// deterministic: Workers=1 (the pre-parallel path) and any other worker
+// count produce identical sweeps on both benchmark SOCs.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		soc    string
+		lo, hi int
+	}{
+		{"demo8", 4, 24},
+		{"d695", 12, 40},
+	}
+	for _, tc := range cases {
+		s, err := bench.ByName(tc.soc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{WidthLo: tc.lo, WidthHi: tc.hi, Percents: []int{1, 5, 10}, Deltas: []int{0, 2}}
+		cfg.Workers = 1
+		seq, err := Run(s, cfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.soc, err)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			cfg.Workers = workers
+			par, err := Run(s, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.soc, workers, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s: workers=%d sweep differs from sequential", tc.soc, workers)
+			}
+		}
+	}
+}
+
+// TestRunParallelErrorMatchesSequential checks the lowest failing width
+// wins the error race, matching the sequential path's first error.
+func TestRunParallelErrorMatchesSequential(t *testing.T) {
+	s := bench.Demo()
+	// A power budget below any single core's test power makes every width
+	// fail the constraint feasibility check, deterministically.
+	cfg := Config{WidthLo: 4, WidthHi: 12}
+	cfg.Params.PowerMax = 1
+	cfg.Workers = 1
+	_, seqErr := Run(s, cfg)
+	cfg.Workers = 4
+	_, parErr := Run(s, cfg)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error mismatch:\n seq: %v\n par: %v", seqErr, parErr)
+	}
+	if !strings.Contains(seqErr.Error(), "width 4") {
+		t.Errorf("error not attributed to the lowest width: %v", seqErr)
+	}
+}
+
+// TestFinalizeMinimaZeroTimeSample is the regression test for the old
+// `== 0` unset sentinel: a theoretical zero-time first sample must be
+// recognized as the minimum, not mistaken for "unset" and overwritten.
+func TestFinalizeMinimaZeroTimeSample(t *testing.T) {
+	sw := &Sweep{Samples: []Sample{
+		{TAMWidth: 4, Time: 0, Volume: 0},
+		{TAMWidth: 5, Time: 100, Volume: 500},
+	}}
+	sw.finalizeMinima()
+	if sw.MinTime != 0 || sw.MinTimeWidth != 4 {
+		t.Errorf("MinTime=%d at W=%d, want 0 at W=4", sw.MinTime, sw.MinTimeWidth)
+	}
+	if sw.MinVolume != 0 || sw.MinVolumeWidth != 4 {
+		t.Errorf("MinVolume=%d at W=%d, want 0 at W=4", sw.MinVolume, sw.MinVolumeWidth)
+	}
+}
+
+// TestCostGuardsZeroMinima: a hand-built or JSON-decoded Sweep with zero
+// minima must fail loudly instead of producing silent +Inf/NaN costs.
+func TestCostGuardsZeroMinima(t *testing.T) {
+	sw := &Sweep{Samples: []Sample{{TAMWidth: 8, Time: 100, Volume: 800}}}
+	// Minima left zero, as a buggy producer would.
+	if _, err := sw.EffectiveWidth(0.5); err == nil {
+		t.Error("EffectiveWidth accepted zero minima")
+	}
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s did not panic on zero minima", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Cost", func() { sw.Cost(0.5, sw.Samples[0]) })
+	assertPanics("CostCurve", func() { sw.CostCurve(0.5) })
+
+	empty := &Sweep{}
+	if _, err := empty.EffectiveWidth(0.5); err == nil {
+		t.Error("EffectiveWidth accepted an empty sweep")
+	}
+	assertPanics("CostCurve(empty)", func() { empty.CostCurve(0.5) })
+}

@@ -54,8 +54,9 @@ type Table1Row struct {
 }
 
 // Table1 regenerates Table 1 for one SOC. percents/deltas override the
-// sweep grid (nil = defaults).
-func Table1(s *soc.SOC, percents, deltas []int) ([]Table1Row, error) {
+// sweep grid (nil = defaults); workers bounds sweep concurrency
+// (0 = GOMAXPROCS, 1 = sequential).
+func Table1(s *soc.SOC, percents, deltas []int, workers int) ([]Table1Row, error) {
 	opt, err := sched.New(s, sched.DefaultMaxWidth)
 	if err != nil {
 		return nil, err
@@ -71,15 +72,15 @@ func Table1(s *soc.SOC, percents, deltas []int) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		np, err := opt.SweepBest(sched.Params{TAMWidth: w}, percents, deltas)
+		np, err := opt.SweepBest(sched.Params{TAMWidth: w, Workers: workers}, percents, deltas)
 		if err != nil {
 			return nil, err
 		}
-		pre, err := opt.SweepBest(sched.Params{TAMWidth: w, MaxPreemptions: mp}, percents, deltas)
+		pre, err := opt.SweepBest(sched.Params{TAMWidth: w, MaxPreemptions: mp, Workers: workers}, percents, deltas)
 		if err != nil {
 			return nil, err
 		}
-		pw, err := opt.SweepBest(sched.Params{TAMWidth: w, MaxPreemptions: mp, PowerMax: pmax}, percents, deltas)
+		pw, err := opt.SweepBest(sched.Params{TAMWidth: w, MaxPreemptions: mp, PowerMax: pmax, Workers: workers}, percents, deltas)
 		if err != nil {
 			return nil, err
 		}
@@ -137,12 +138,14 @@ type Fig9 struct {
 }
 
 // Fig9Sweep runs the W sweep (non-preemptive, best-of-grid at each width).
-func Fig9Sweep(s *soc.SOC, lo, hi int, percents, deltas []int) (*Fig9, error) {
+// workers bounds the width fan-out (0 = GOMAXPROCS, 1 = sequential).
+func Fig9Sweep(s *soc.SOC, lo, hi int, percents, deltas []int, workers int) (*Fig9, error) {
 	sw, err := datavol.Run(s, datavol.Config{
 		WidthLo:  lo,
 		WidthHi:  hi,
 		Percents: percents,
 		Deltas:   deltas,
+		Workers:  workers,
 	})
 	if err != nil {
 		return nil, err
@@ -225,8 +228,8 @@ type AblationDeltaRow struct {
 // δ promotion the bottleneck core is assigned its α-preferred width and the
 // SOC misses its minimum testing time; with δ ≥ 1 the core is widened to
 // its highest Pareto width and the SOC reaches the bottleneck-bound
-// minimum.
-func AblationDelta(percent int) ([]AblationDeltaRow, error) {
+// minimum. workers bounds sweep concurrency (0 = GOMAXPROCS).
+func AblationDelta(percent, workers int) ([]AblationDeltaRow, error) {
 	s := bench.P34392Like()
 	opt, err := sched.New(s, sched.DefaultMaxWidth)
 	if err != nil {
@@ -235,11 +238,11 @@ func AblationDelta(percent int) ([]AblationDeltaRow, error) {
 	const bottleneck = 18
 	var rows []AblationDeltaRow
 	for _, w := range []int{28, 32} {
-		d0, err := opt.SweepBest(sched.Params{TAMWidth: w}, []int{percent}, []int{0})
+		d0, err := opt.SweepBest(sched.Params{TAMWidth: w, Workers: workers}, []int{percent}, []int{0})
 		if err != nil {
 			return nil, err
 		}
-		ds, err := opt.SweepBest(sched.Params{TAMWidth: w}, []int{percent}, []int{0, 1, 2, 3, 4})
+		ds, err := opt.SweepBest(sched.Params{TAMWidth: w, Workers: workers}, []int{percent}, []int{0, 1, 2, 3, 4})
 		if err != nil {
 			return nil, err
 		}
@@ -267,8 +270,9 @@ type BaselineRow struct {
 	FFDH       int64
 }
 
-// Baselines regenerates the architecture ablation for one SOC.
-func Baselines(s *soc.SOC, widths []int, maxBuses int, percents, deltas []int) ([]BaselineRow, error) {
+// Baselines regenerates the architecture ablation for one SOC. workers
+// bounds the flexible-scheduler sweep concurrency (0 = GOMAXPROCS).
+func Baselines(s *soc.SOC, widths []int, maxBuses int, percents, deltas []int, workers int) ([]BaselineRow, error) {
 	if len(widths) == 0 {
 		widths = Table1Widths(s.Name)
 	}
@@ -281,7 +285,7 @@ func Baselines(s *soc.SOC, widths []int, maxBuses int, percents, deltas []int) (
 	}
 	var rows []BaselineRow
 	for _, w := range widths {
-		flex, err := opt.SweepBest(sched.Params{TAMWidth: w}, percents, deltas)
+		flex, err := opt.SweepBest(sched.Params{TAMWidth: w, Workers: workers}, percents, deltas)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +324,8 @@ type AblationHeuristicsRow struct {
 }
 
 // AblationHeuristics runs the heuristic on/off matrix for one SOC.
-func AblationHeuristics(s *soc.SOC, widths []int, percents, deltas []int) ([]AblationHeuristicsRow, error) {
+// workers bounds sweep concurrency (0 = GOMAXPROCS).
+func AblationHeuristics(s *soc.SOC, widths []int, percents, deltas []int, workers int) ([]AblationHeuristicsRow, error) {
 	if len(widths) == 0 {
 		widths = Table1Widths(s.Name)
 	}
@@ -335,6 +340,7 @@ func AblationHeuristics(s *soc.SOC, widths []int, percents, deltas []int) ([]Abl
 				TAMWidth:        w,
 				InsertSlack:     insertSlack,
 				DisableWidening: noWiden,
+				Workers:         workers,
 			}, percents, deltas)
 			if err != nil {
 				return 0, err

@@ -14,7 +14,7 @@ var (
 
 func TestTable1Shapes(t *testing.T) {
 	s := bench.D695()
-	rows, err := Table1(s, testPercents, testDeltas)
+	rows, err := Table1(s, testPercents, testDeltas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFig1PlateauStructure(t *testing.T) {
 
 func TestFig9AndTable2(t *testing.T) {
 	s := bench.Demo()
-	f9, err := Fig9Sweep(s, 6, 20, testPercents, testDeltas)
+	f9, err := Fig9Sweep(s, 6, 20, testPercents, testDeltas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestTable2GammasPerPaper(t *testing.T) {
 // α=10 and δ=0 the bottleneck core prefers 9 wires and the SOC misses its
 // minimum; sweeping δ recovers T = 544579 at W=32.
 func TestAblationDeltaNarrative(t *testing.T) {
-	rows, err := AblationDelta(10)
+	rows, err := AblationDelta(10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestAblationDeltaNarrative(t *testing.T) {
 
 func TestBaselinesRows(t *testing.T) {
 	s := bench.D695()
-	rows, err := Baselines(s, []int{16, 32}, 2, testPercents, testDeltas)
+	rows, err := Baselines(s, []int{16, 32}, 2, testPercents, testDeltas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestFullSweepHitsBottleneckMinimum(t *testing.T) {
 		t.Skip("full sweep")
 	}
 	s := bench.P34392Like()
-	rows, err := Table1(s, nil, nil)
+	rows, err := Table1(s, nil, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestFullSweepHitsBottleneckMinimum(t *testing.T) {
 
 func TestAblationHeuristicsRows(t *testing.T) {
 	s := bench.D695()
-	rows, err := AblationHeuristics(s, []int{32}, testPercents, testDeltas)
+	rows, err := AblationHeuristics(s, []int{32}, testPercents, testDeltas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Reduced grids keep the determinism tests quick while still covering all
+// three sweep dimensions (slack is swept because InsertSlack is left 0).
+var (
+	detPercents = []int{1, 5, 10, 20}
+	detDeltas   = []int{0, 1, 2}
+)
+
+// TestSweepBestParallelMatchesSequential asserts the tentpole guarantee:
+// the parallel sweep engine returns a schedule identical (field for field,
+// wire for wire) to the sequential path, on both benchmark SOCs.
+func TestSweepBestParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"d695", "demo8"} {
+		s, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := New(s, DefaultMaxWidth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{16, 32} {
+			seq, err := opt.SweepBest(Params{TAMWidth: w, Workers: 1}, detPercents, detDeltas)
+			if err != nil {
+				t.Fatalf("%s W=%d sequential: %v", name, w, err)
+			}
+			for _, workers := range []int{0, 2, 4, 7} {
+				par, err := opt.SweepBest(Params{TAMWidth: w, Workers: workers}, detPercents, detDeltas)
+				if err != nil {
+					t.Fatalf("%s W=%d workers=%d: %v", name, w, workers, err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("%s W=%d: workers=%d schedule differs from sequential (makespan %d vs %d)",
+						name, w, workers, par.Makespan, seq.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepBestParallelErrorMatchesSequential checks that when every grid
+// point fails, both paths surface the same (first-grid-point) error.
+func TestSweepBestParallelErrorMatchesSequential(t *testing.T) {
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxWidth above the optimizer cap fails in Run for every grid point.
+	bad := Params{TAMWidth: 16, MaxWidth: DefaultMaxWidth + 1}
+	bad.Workers = 1
+	_, seqErr := opt.SweepBest(bad, detPercents, detDeltas)
+	bad.Workers = 4
+	_, parErr := opt.SweepBest(bad, detPercents, detDeltas)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error mismatch:\n seq: %v\n par: %v", seqErr, parErr)
+	}
+}
+
+// TestOptimizerConcurrentRuns exercises the documented guarantee that one
+// Optimizer serves concurrent Run calls; run under -race it also proves
+// the absence of data races on the shared Pareto sets and SOC.
+func TestOptimizerConcurrentRuns(t *testing.T) {
+	s := bench.D695()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := opt.Run(Params{TAMWidth: 24, Percent: 5, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	results := make([]*Schedule, goroutines)
+	errs := make([]error, goroutines)
+	ForEach(goroutines, goroutines, func(i int) {
+		results[i], errs[i] = opt.Run(Params{TAMWidth: 24, Percent: 5, Delta: 1})
+	})
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(ref, results[i]) {
+			t.Errorf("goroutine %d produced a different schedule (makespan %d vs %d)",
+				i, results[i].Makespan, ref.Makespan)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(1); got != 1 {
+		t.Errorf("ResolveWorkers(1) = %d", got)
+	}
+	if got := ResolveWorkers(-3); got != 1 {
+		t.Errorf("ResolveWorkers(-3) = %d", got)
+	}
+	if got := ResolveWorkers(5); got != 5 {
+		t.Errorf("ResolveWorkers(5) = %d", got)
+	}
+	if got := ResolveWorkers(0); got < 1 {
+		t.Errorf("ResolveWorkers(0) = %d", got)
+	}
+}
+
+// TestForEachCoversAllIndices checks every index is visited exactly once
+// for worker counts around the item count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16, 64} {
+		const n = 37
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}

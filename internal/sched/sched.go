@@ -9,7 +9,10 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/pareto"
@@ -59,6 +62,14 @@ type Params struct {
 	// IgnoreHierarchy suppresses implicit parent/child concurrency
 	// constraints (for ablation).
 	IgnoreHierarchy bool
+	// Workers bounds the number of concurrent scheduler runs a parameter
+	// sweep (SweepBest) may use; a single Run ignores it. 0 means
+	// GOMAXPROCS, 1 forces the sequential path, negative values are
+	// treated as 1. Parallel sweeps return schedules identical to the
+	// sequential path: per-grid-point results are collected and the
+	// smallest-makespan/first-grid-point tie-break is applied in grid
+	// order.
+	Workers int
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -165,6 +176,15 @@ type span struct {
 // Optimizer schedules one SOC repeatedly with different parameters,
 // caching the expensive per-core Pareto staircases across runs (parameter
 // sweeps and width sweeps reuse them).
+//
+// An Optimizer is safe for concurrent use by multiple goroutines. After
+// New returns, the SOC and the cached Pareto sets are never mutated: Run
+// allocates every piece of mutable state per call (the runner, the
+// per-core coreStates, the rect.Bin, the constraint.Checker), and
+// pareto.Set.Capped hands out read-only views that share the immutable
+// time table. SweepBest and datavol.Run exploit this by fanning Run calls
+// out over a worker pool (see Params.Workers). Callers must not mutate
+// the SOC passed to New while the Optimizer is in use.
 type Optimizer struct {
 	soc      *soc.SOC
 	maxWidth int
@@ -731,6 +751,12 @@ func SweepBest(s *soc.SOC, params Params, percents, deltas []int) (*Schedule, er
 // slack dimension sweeps DefaultInsertSlacks (the paper tunes 3 but notes
 // the best limit is SOC-dependent and user-settable); an explicit slack
 // pins that dimension.
+//
+// Grid points are independent scheduler runs, so they are fanned out over
+// params.Workers goroutines (0 = GOMAXPROCS, 1 = sequential). Results are
+// collected per grid point and compared in grid order, so the returned
+// schedule — and the error, when every point fails — is identical
+// regardless of the worker count.
 func (o *Optimizer) SweepBest(params Params, percents, deltas []int) (*Schedule, error) {
 	if len(percents) == 0 {
 		percents = DefaultPercents()
@@ -742,30 +768,94 @@ func (o *Optimizer) SweepBest(params Params, percents, deltas []int) (*Schedule,
 	if params.InsertSlack == 0 {
 		slacks = DefaultInsertSlacks()
 	}
-	var best *Schedule
-	var firstErr error
+	var grid []Params
 	for _, sl := range slacks {
 		for _, a := range percents {
 			for _, d := range deltas {
 				p := params
 				p.Percent, p.Delta, p.InsertSlack = a, d, sl
-				sch, err := o.Run(p)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					continue
-				}
-				if best == nil || sch.Makespan < best.Makespan {
-					best = sch
-				}
+				// Workers steers the sweep, not one run; clear it so the
+				// echoed Schedule.Params is worker-count independent.
+				p.Workers = 0
+				grid = append(grid, p)
 			}
 		}
 	}
+	// Stream results into a running best ordered by (makespan, grid
+	// index) — the same winner as the sequential first-grid-point
+	// tie-break, independent of completion order — so losing schedules
+	// are released as the sweep progresses instead of all being retained
+	// until a final merge. Errors keep the lowest grid index likewise.
+	var mu sync.Mutex
+	var best *Schedule
+	bestIdx := len(grid)
+	var firstErr error
+	errIdx := len(grid)
+	ForEach(params.Workers, len(grid), func(i int) {
+		sch, err := o.Run(grid[i])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if i < errIdx {
+				errIdx, firstErr = i, err
+			}
+			return
+		}
+		if best == nil || sch.Makespan < best.Makespan ||
+			(sch.Makespan == best.Makespan && i < bestIdx) {
+			best, bestIdx = sch, i
+		}
+	})
 	if best == nil {
 		return nil, firstErr
 	}
 	return best, nil
+}
+
+// ResolveWorkers maps a Params.Workers-style knob to a concrete worker
+// count: 0 means GOMAXPROCS, anything below 1 collapses to 1.
+func ResolveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out over
+// ResolveWorkers(workers) goroutines. With one worker (or one item) it
+// degenerates to a plain loop on the calling goroutine — exactly the
+// sequential path. fn must be safe for concurrent invocation with
+// distinct indices; indices are claimed atomically so each runs once.
+func ForEach(workers, n int, fn func(int)) {
+	w := ResolveWorkers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // DefaultPercents returns the α sweep grid: the paper's 1..10 plus a few

@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,31 @@ func TestSweepAndEffectiveWidth(t *testing.T) {
 	}
 	if eff.TAMWidth < 8 || eff.TAMWidth > 20 {
 		t.Fatalf("effective width %d outside sweep", eff.TAMWidth)
+	}
+}
+
+// TestSweepWidthsDeterministic asserts the public parallel sweep returns
+// exactly the sequential result (the tentpole determinism guarantee at the
+// API surface; the internal packages test it at finer grain).
+func TestSweepWidthsDeterministic(t *testing.T) {
+	s := BenchmarkSOC("demo8")
+	seq, err := SweepWidthsWorkers(s, 8, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepWidthsWorkers(s, 8, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel SweepWidths differs from sequential")
+	}
+	def, err := SweepWidths(s, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, def) {
+		t.Fatal("default SweepWidths differs from sequential")
 	}
 }
 
