@@ -67,6 +67,65 @@ func Schedule(s *SOC, opts Options) (*TestSchedule, error) {
 	return sched.Run(s, opts)
 }
 
+// Planner is a reusable scheduling session for one SOC. It precomputes the
+// per-core Pareto staircases and every (core, width) wrapper design once;
+// all subsequent scheduling runs, parameter sweeps, and width sweeps fetch
+// from those caches instead of redesigning wrappers. A service answering
+// repeated sweeps should hold one Planner per SOC — the package-level
+// Schedule/ScheduleBest/SweepWidths helpers rebuild the caches per call.
+//
+// A Planner is safe for concurrent use by multiple goroutines.
+type Planner struct {
+	opt *sched.Optimizer
+}
+
+// NewPlanner validates the SOC and builds the caches (width cap: the
+// paper's 64 per core). The SOC must not be mutated while the Planner is
+// in use.
+func NewPlanner(s *SOC) (*Planner, error) {
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{opt: opt}, nil
+}
+
+// Schedule computes one test schedule from the cached designs.
+func (p *Planner) Schedule(opts Options) (*TestSchedule, error) {
+	return p.opt.Run(opts)
+}
+
+// ScheduleBest sweeps the (α, δ) parameter grid, deduplicating grid points
+// that resolve to the same per-core preferred widths, and returns the
+// schedule with the smallest SOC testing time.
+func (p *Planner) ScheduleBest(opts Options) (*TestSchedule, error) {
+	return p.opt.SweepBest(opts, nil, nil)
+}
+
+// SweepWidths schedules the SOC at every TAM width in [lo, hi] (workers
+// as in SweepWidthsWorkers), reusing the Planner's caches across widths.
+func (p *Planner) SweepWidths(lo, hi, workers int) (*WidthSweep, error) {
+	return datavol.RunWith(p.opt, datavol.Config{WidthLo: lo, WidthHi: hi, Workers: workers})
+}
+
+// Verify re-derives every schedule invariant, with wrapper designs served
+// from the cache.
+func (p *Planner) Verify(sch *TestSchedule) error {
+	return p.opt.Verify(sch)
+}
+
+// WrapperDesign returns the cached wrapper design of a core at a width in
+// 1..DefaultMaxWidth (nil when out of range). The design is shared and
+// must be treated as read-only.
+func (p *Planner) WrapperDesign(coreID, width int) *WrapperDesign {
+	return p.opt.Design(coreID, width)
+}
+
+// Pareto returns the cached Pareto set of a core.
+func (p *Planner) Pareto(coreID int) *ParetoSet {
+	return p.opt.ParetoSet(coreID)
+}
+
 // ScheduleBest sweeps the (α, δ) parameter grid and returns the schedule
 // with the smallest SOC testing time. The grid points are independent
 // scheduler runs fanned out over opts.Workers goroutines (0 = all CPUs,

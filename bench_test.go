@@ -167,7 +167,7 @@ func BenchmarkSingleScheduleP93791(b *testing.B) {
 }
 
 // BenchmarkDesignWrapper measures the BFD wrapper design of the biggest
-// d695 core across its useful width range.
+// d695 core across its useful width range (the uncached path).
 func BenchmarkDesignWrapper(b *testing.B) {
 	c := bench.D695().Core(5) // s38584
 	b.ResetTimer()
@@ -176,6 +176,44 @@ func BenchmarkDesignWrapper(b *testing.B) {
 			if _, err := wrapper.DesignWrapper(c, w); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkDesignWrapperCached measures the same width range served from
+// an Optimizer's (core, width) design cache — the scheduler's inner-loop
+// path since PR 2. Compare against BenchmarkDesignWrapper for the
+// cached-vs-uncached win.
+func BenchmarkDesignWrapperCached(b *testing.B) {
+	s := bench.D695()
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 1; w <= 64; w++ {
+			if opt.Design(5, w) == nil {
+				b.Fatal("missing cached design")
+			}
+		}
+	}
+}
+
+// BenchmarkSweepBestD695 measures one full (α, δ, slack) parameter-grid
+// sweep at a fixed TAM width — the unit datavol.Run repeats per width.
+// Grid dedup collapses the default 225-point grid to the unique
+// preferred-width fingerprints before anything runs.
+func BenchmarkSweepBestD695(b *testing.B) {
+	s := bench.D695()
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.SweepBest(sched.Params{TAMWidth: 32, Workers: 1}, nil, nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -16,25 +16,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/datavol"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/soc"
 )
 
 func main() {
 	var (
-		table    = flag.String("table", "", "regenerate a table: 1 or 2")
-		fig      = flag.String("fig", "", "regenerate a figure: 1, 9a, 9b, 9c, 9d")
-		ablation = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
-		socName  = flag.String("soc", "", "restrict to one SOC (default: all four)")
-		quick    = flag.Bool("quick", false, "smaller sweep ranges (coarser widths, reduced grid)")
-		workers  = flag.Int("workers", 0, "concurrent scheduler runs per sweep (0 = all CPUs, 1 = sequential)")
-		all      = flag.Bool("all", false, "regenerate everything")
+		table     = flag.String("table", "", "regenerate a table: 1 or 2")
+		fig       = flag.String("fig", "", "regenerate a figure: 1, 9a, 9b, 9c, 9d")
+		ablation  = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
+		socName   = flag.String("soc", "", "restrict to one SOC (default: all four)")
+		quick     = flag.Bool("quick", false, "smaller sweep ranges (coarser widths, reduced grid)")
+		workers   = flag.Int("workers", 0, "concurrent scheduler runs per sweep (0 = all CPUs, 1 = sequential)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		benchjson = flag.String("benchjson", "", "time the representative workloads and write JSON to this path (\"-\" = stdout); see BENCH_2.json")
+		benchnote = flag.String("benchnote", "", "free-form note embedded in the -benchjson output (e.g. the baseline being compared against)")
 	)
 	flag.Parse()
 
@@ -44,6 +51,10 @@ func main() {
 	}
 
 	ran := false
+	if *benchjson != "" {
+		ran = true
+		runBenchJSON(*benchjson, *benchnote)
+	}
 	if *all || *table == "1" {
 		ran = true
 		runTable1(socs, *workers)
@@ -79,6 +90,116 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// benchJSONReport is the schema of the -benchjson output (and of the
+// committed BENCH_2.json perf-trajectory baselines).
+type benchJSONReport struct {
+	Schema     string            `json:"schema"`
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks []benchJSONResult `json:"benchmarks"`
+}
+
+type benchJSONResult struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// runBenchJSON times the representative workloads (the same shapes as the
+// repository's go-test benchmarks, sequential so the numbers measure the
+// algorithms rather than the host's core count) and writes them as JSON.
+func runBenchJSON(path, note string) {
+	grid5 := []int{1, 5, 10, 20, 40}
+	grid3 := []int{0, 1, 2}
+	workloads := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"DataVolRunD695Workers1", func(b *testing.B) {
+			s := bench.D695()
+			for i := 0; i < b.N; i++ {
+				sw, err := datavol.Run(s, datavol.Config{
+					WidthLo: 8, WidthHi: 56,
+					Percents: grid5, Deltas: grid3,
+					Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sw.MinVolume <= 0 {
+					b.Fatal("no volume minimum")
+				}
+			}
+		}},
+		{"SweepBestD695W32", func(b *testing.B) {
+			s := bench.D695()
+			opt, err := sched.New(s, sched.DefaultMaxWidth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.SweepBest(sched.Params{TAMWidth: 32, Workers: 1}, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SingleScheduleP93791W48", func(b *testing.B) {
+			s := bench.P93791Like()
+			opt, err := sched.New(s, sched.DefaultMaxWidth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Run(sched.Params{TAMWidth: 48, Percent: 10, Delta: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ParetoSetsP93791", func(b *testing.B) {
+			s := bench.P93791Like()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.New(s, sched.DefaultMaxWidth); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	rep := benchJSONReport{
+		Schema: "socbench-benchjson/v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Note:   note,
+	}
+	for _, w := range workloads {
+		r := testing.Benchmark(w.fn)
+		rep.Benchmarks = append(rep.Benchmarks, benchJSONResult{
+			Name:       w.name,
+			Iterations: r.N,
+			NsPerOp:    r.NsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "socbench: %-24s %10d ns/op (%d iterations)\n", w.name, r.NsPerOp(), r.N)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
 	}
 }
 

@@ -25,6 +25,11 @@
 //	if err != nil { ... }
 //	fmt.Println(sch.Makespan) // SOC testing time in cycles
 //
+// Callers issuing repeated runs or sweeps against one SOC should hold a
+// Planner: it precomputes the Pareto staircases and every (core, width)
+// wrapper design once and serves all subsequent scheduling from those
+// caches, where the package-level helpers rebuild them per call.
+//
 // The heavy lifting lives in the internal packages (soc, wrapper, pareto,
 // rect, constraint, sched, lb, datavol, bist, pattern, tamsim, baseline,
 // bench, report, experiments); this package re-exports the surface a
@@ -33,9 +38,10 @@
 //
 // # Concurrency
 //
-// A sched.Optimizer is safe for concurrent use: once constructed it holds
-// only the SOC and immutable per-core Pareto sets, and every scheduling
-// run allocates its own mutable state. The parameter sweeps exploit this —
+// A sched.Optimizer (and therefore a Planner) is safe for concurrent use:
+// once constructed it holds only the SOC, immutable per-core Pareto sets,
+// and immutable cached wrapper designs, and every scheduling run allocates
+// its own mutable state. The parameter sweeps exploit this —
 // ScheduleBest fans the (α, δ, slack) grid and SweepWidths fans the TAM
 // width range out over a worker pool. The fan-out is bounded by the
 // Workers knob (Options.Workers, or the workers argument of

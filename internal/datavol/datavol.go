@@ -77,6 +77,19 @@ type Config struct {
 // over cfg.Workers goroutines; see Config.Workers for the determinism
 // guarantee.
 func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
+	opt, err := sched.New(s, cfg.Params.Defaults().MaxWidth)
+	if err != nil {
+		return nil, err
+	}
+	return RunWith(opt, cfg)
+}
+
+// RunWith is Run against a pre-built scheduler optimizer, reusing its
+// Pareto-staircase and wrapper-design caches across sweeps (a service
+// answering repeated sweeps for one SOC pays the staircase construction
+// once). The optimizer's width cap must cover cfg.Params.MaxWidth.
+func RunWith(opt *sched.Optimizer, cfg Config) (*Sweep, error) {
+	s := opt.SOC()
 	if cfg.WidthLo == 0 {
 		cfg.WidthLo = 4
 	}
@@ -85,10 +98,6 @@ func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
 	}
 	if cfg.WidthLo < 1 || cfg.WidthHi < cfg.WidthLo {
 		return nil, fmt.Errorf("datavol: bad width range [%d,%d]", cfg.WidthLo, cfg.WidthHi)
-	}
-	opt, err := sched.New(s, cfg.Params.Defaults().MaxWidth)
-	if err != nil {
-		return nil, err
 	}
 	n := cfg.WidthHi - cfg.WidthLo + 1
 	samples := make([]Sample, n)

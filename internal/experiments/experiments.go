@@ -61,14 +61,17 @@ func Table1(s *soc.SOC, percents, deltas []int, workers int) ([]Table1Row, error
 	if err != nil {
 		return nil, err
 	}
-	mp, err := sched.LargerCorePreemptions(s, sched.DefaultMaxWidth, PreemptionBudget)
+	// The optimizer already holds every Pareto staircase; derive the
+	// preemption policy and the lower bounds from its cache instead of
+	// redesigning wrappers per width.
+	mp, err := opt.LargerCorePreemptions(PreemptionBudget)
 	if err != nil {
 		return nil, err
 	}
 	pmax := sched.DefaultPowerBudget(s, PowerBudgetFactorPct)
 	var rows []Table1Row
 	for _, w := range Table1Widths(s.Name) {
-		bound, err := lb.Compute(s, w, sched.DefaultMaxWidth)
+		bound, err := lb.FromSets(opt.ParetoSets(), w, sched.DefaultMaxWidth)
 		if err != nil {
 			return nil, err
 		}

@@ -68,6 +68,44 @@ func Compute(s *soc.SOC, w, maxWidth int) (Bound, error) {
 	}, nil
 }
 
+// FromSets computes the same bound as Compute from precomputed Pareto sets
+// indexed by core ID (e.g. a sched.Optimizer's cache), without redesigning
+// a single wrapper. Every set must have been computed with a width cap of
+// at least min(w, maxWidth); smaller sets are rejected rather than
+// silently loosening the bound.
+func FromSets(sets map[int]*pareto.Set, w, maxWidth int) (Bound, error) {
+	if w < 1 {
+		return Bound{}, fmt.Errorf("lb: non-positive TAM width %d", w)
+	}
+	if maxWidth < 1 {
+		return Bound{}, fmt.Errorf("lb: non-positive max width %d", maxWidth)
+	}
+	cap := maxWidth
+	if cap > w {
+		cap = w
+	}
+	var area, bottleneck int64
+	for id, ps := range sets {
+		if ps.MaxWidth < cap {
+			return Bound{}, fmt.Errorf("lb: core %d Pareto set capped at %d, need %d", id, ps.MaxWidth, cap)
+		}
+		c, err := ps.Capped(cap)
+		if err != nil {
+			return Bound{}, err
+		}
+		area += c.MinArea()
+		if t := c.MinTime(); t > bottleneck {
+			bottleneck = t
+		}
+	}
+	return Bound{
+		TAMWidth:        w,
+		AreaBound:       ceilDiv(area, int64(w)),
+		BottleneckBound: bottleneck,
+		MinArea:         area,
+	}, nil
+}
+
 // MinArea returns A = Σ_i min_w w·T_i(w) with per-core widths capped at
 // maxWidth. It pins the SOC's total test-data footprint and is the quantity
 // our synthetic benchmark SOCs are calibrated against.

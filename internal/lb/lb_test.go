@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/pareto"
 	"repro/internal/soc"
 )
 
@@ -118,5 +119,56 @@ func TestWidthCapAtW(t *testing.T) {
 	b64, _ := Compute(s, 64, 64)
 	if b16.BottleneckBound < b64.BottleneckBound {
 		t.Fatalf("bottleneck at W=16 (%d) below W=64 (%d)", b16.BottleneckBound, b64.BottleneckBound)
+	}
+}
+
+// TestFromSetsMatchesCompute asserts the cache-fed bound equals the
+// self-computing one on every benchmark SOC across the Table 1 widths.
+func TestFromSetsMatchesCompute(t *testing.T) {
+	for _, name := range []string{"d695", "p22810like", "p34392like", "p93791like", "demo8"} {
+		s, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, err := pareto.ComputeAll(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{8, 16, 32, 48, 64, 80} {
+			want, err := Compute(s, w, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FromSets(sets, w, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s LB(%d): FromSets %+v, Compute %+v", name, w, got, want)
+			}
+		}
+	}
+}
+
+// TestFromSetsRejectsUndersizedSets pins the strictness guarantee: sets
+// computed under a smaller cap than min(w, maxWidth) are an error, not a
+// silently loosened bound.
+func TestFromSetsRejectsUndersizedSets(t *testing.T) {
+	s := bench.D695()
+	sets, err := pareto.ComputeAll(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSets(sets, 32, 64); err == nil {
+		t.Fatal("FromSets accepted sets capped below min(w, maxWidth)")
+	}
+	if _, err := FromSets(sets, 8, 64); err != nil {
+		t.Fatalf("FromSets rejected adequately-capped sets: %v", err)
+	}
+	if _, err := FromSets(sets, 0, 64); err == nil {
+		t.Fatal("FromSets accepted w=0")
+	}
+	if _, err := FromSets(sets, 8, 0); err == nil {
+		t.Fatal("FromSets accepted maxWidth=0")
 	}
 }

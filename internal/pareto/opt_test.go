@@ -1,0 +1,106 @@
+package pareto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wrapper"
+)
+
+// TestSnapDownBoundaries table-tests the binary-search SnapDown on a set
+// with known Pareto widths, covering every boundary: below 1, exactly at a
+// Pareto width, between two Pareto widths, at MaxWidth, and beyond.
+func TestSnapDownBoundaries(t *testing.T) {
+	// 8 chains of 100 bits: Pareto widths are exactly the divisors-driven
+	// drop positions of the staircase; read them from the computed set.
+	c := scanCore([]int{100, 100, 100, 100, 100, 100, 100, 100}, 12, 8, 30)
+	s, err := Compute(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPareto := make(map[int]bool)
+	for _, p := range s.Points {
+		isPareto[p.Width] = true
+	}
+	// Linear-scan reference for the expected answer.
+	ref := func(w int) (int, bool) {
+		best := 0
+		for _, p := range s.Points {
+			if p.Width <= w {
+				best = p.Width
+			}
+		}
+		return best, best != 0
+	}
+	cases := []int{-3, 0, 1, 2}
+	for _, p := range s.Points {
+		cases = append(cases, p.Width-1, p.Width, p.Width+1)
+	}
+	cases = append(cases, s.MaxWidth-1, s.MaxWidth, s.MaxWidth+1, s.MaxWidth+100)
+	for _, w := range cases {
+		got, gotOK := s.SnapDown(w)
+		want, wantOK := ref(w)
+		if got != want || gotOK != wantOK {
+			t.Errorf("SnapDown(%d) = (%d,%v), want (%d,%v)", w, got, gotOK, want, wantOK)
+		}
+		if gotOK && !isPareto[got] {
+			t.Errorf("SnapDown(%d) = %d is not Pareto-optimal", w, got)
+		}
+	}
+}
+
+// TestMinAreaMatchesExhaustive asserts the Pareto-points-only MinArea
+// equals the exhaustive min over w of w·T(w) on random cores: T is
+// constant between Pareto points, so the area minimum can only sit at one.
+func TestMinAreaMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		nchains := rng.Intn(10)
+		chains := make([]int, nchains)
+		for j := range chains {
+			chains[j] = rng.Intn(150)
+		}
+		c := scanCore(chains, rng.Intn(200), rng.Intn(200), 1+rng.Intn(100))
+		maxWidth := 1 + rng.Intn(32)
+		s, err := Compute(c, maxWidth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive := int64(1) * s.Time(1)
+		for w := 2; w <= maxWidth; w++ {
+			if a := int64(w) * s.Time(w); a < exhaustive {
+				exhaustive = a
+			}
+		}
+		if got := s.MinArea(); got != exhaustive {
+			t.Fatalf("case %d (maxWidth=%d): MinArea = %d, exhaustive scan = %d\npoints: %+v",
+				i, maxWidth, got, exhaustive, s.Points)
+		}
+	}
+}
+
+// TestComputeDesigns asserts the retained designs are exactly what
+// DesignWrapper produces and consistent with the cached time table.
+func TestComputeDesigns(t *testing.T) {
+	c := scanCore([]int{50, 40, 30, 20, 10}, 6, 4, 20)
+	s, designs, err := ComputeDesigns(c, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 24 {
+		t.Fatalf("got %d designs, want 24", len(designs))
+	}
+	for w := 1; w <= 24; w++ {
+		want, err := wrapper.DesignWrapper(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(designs[w-1], want) {
+			t.Fatalf("width %d: retained design differs from DesignWrapper", w)
+		}
+		if designs[w-1].TestTime() != s.Time(w) {
+			t.Fatalf("width %d: design time %d, set time %d", w, designs[w-1].TestTime(), s.Time(w))
+		}
+	}
+}

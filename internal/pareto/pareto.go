@@ -10,6 +10,7 @@ package pareto
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/soc"
 	"repro/internal/wrapper"
@@ -38,16 +39,29 @@ type Set struct {
 
 // Compute builds the Pareto set of core c for widths 1..maxWidth.
 func Compute(c *soc.Core, maxWidth int) (*Set, error) {
+	s, _, err := ComputeDesigns(c, maxWidth)
+	return s, err
+}
+
+// ComputeDesigns builds the Pareto set of core c for widths 1..maxWidth and
+// additionally returns every wrapper design the staircase construction had
+// to produce anyway, indexed by width-1. Staircase construction is the only
+// place the framework pays for wrapper design; callers that keep the
+// returned slice (sched.Optimizer's per-(core,width) cache) never redesign
+// a wrapper again. The designs are immutable and safe to share.
+func ComputeDesigns(c *soc.Core, maxWidth int) (*Set, []*wrapper.Design, error) {
 	if maxWidth < 1 {
-		return nil, fmt.Errorf("pareto: core %d: non-positive max width %d", c.ID, maxWidth)
+		return nil, nil, fmt.Errorf("pareto: core %d: non-positive max width %d", c.ID, maxWidth)
 	}
 	s := &Set{CoreID: c.ID, MaxWidth: maxWidth, times: make([]int64, maxWidth)}
+	designs := make([]*wrapper.Design, maxWidth)
 	var prev int64 = -1
 	for w := 1; w <= maxWidth; w++ {
 		d, err := wrapper.DesignWrapper(c, w)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		designs[w-1] = d
 		t := d.TestTime()
 		s.times[w-1] = t
 		if prev == -1 || t < prev {
@@ -55,7 +69,7 @@ func Compute(c *soc.Core, maxWidth int) (*Set, error) {
 			prev = t
 		}
 	}
-	return s, nil
+	return s, designs, nil
 }
 
 // Time returns T(w) for 1 <= w <= MaxWidth. Widths above MaxWidth saturate
@@ -83,23 +97,19 @@ func (s *Set) MinTime() int64 {
 }
 
 // SnapDown returns the largest Pareto-optimal width <= w, and true when one
-// exists (w >= 1 always has one, since width 1 is Pareto-optimal).
+// exists (w >= 1 always has one, since width 1 is Pareto-optimal). Points
+// are width-ascending, so this is a binary search — SnapDown sits inside
+// the scheduler's idle-insertion and widening inner loops.
 func (s *Set) SnapDown(w int) (int, bool) {
 	if w < 1 {
 		return 0, false
 	}
-	best := 0
-	for _, p := range s.Points {
-		if p.Width <= w {
-			best = p.Width
-		} else {
-			break
-		}
-	}
-	if best == 0 {
+	// First point with Width > w; its predecessor is the answer.
+	i := sort.Search(len(s.Points), func(k int) bool { return s.Points[k].Width > w })
+	if i == 0 {
 		return 0, false
 	}
-	return best, true
+	return s.Points[i-1].Width, true
 }
 
 // PreferredWidth implements the Initialize subroutine (Fig. 5): choose the
@@ -129,11 +139,15 @@ func (s *Set) PreferredWidth(percent, delta int) int {
 
 // MinArea returns min over w of w·T(w) — the smallest TAM-wire-cycle area
 // any rectangle of this core can occupy. It is the per-core term of the
-// scheduling lower bound.
+// scheduling lower bound. For any width w, T(w) >= T(p) where p is the
+// largest Pareto width <= w (Pareto points record every strict
+// improvement, and the BFD heuristic may even bump T upward in between),
+// so w·T(w) >= w·T(p) > p·T(p) whenever w > p: the minimum can only be
+// attained at a Pareto width, and only Points is scanned.
 func (s *Set) MinArea() int64 {
-	best := int64(1) * s.times[0]
-	for w := 2; w <= s.MaxWidth; w++ {
-		if a := int64(w) * s.times[w-1]; a < best {
+	best := int64(s.Points[0].Width) * s.Points[0].Time
+	for _, p := range s.Points[1:] {
+		if a := int64(p.Width) * p.Time; a < best {
 			best = a
 		}
 	}
@@ -174,13 +188,23 @@ func (s *Set) Staircase() []Point {
 // ComputeAll builds Pareto sets for every core of the SOC under the same
 // width cap, indexed by core ID.
 func ComputeAll(s *soc.SOC, maxWidth int) (map[int]*Set, error) {
-	out := make(map[int]*Set, len(s.Cores))
+	sets, _, err := ComputeAllDesigns(s, maxWidth)
+	return sets, err
+}
+
+// ComputeAllDesigns builds Pareto sets and retains every wrapper design for
+// every core of the SOC, both indexed by core ID (designs additionally by
+// width-1). See ComputeDesigns.
+func ComputeAllDesigns(s *soc.SOC, maxWidth int) (map[int]*Set, map[int][]*wrapper.Design, error) {
+	sets := make(map[int]*Set, len(s.Cores))
+	designs := make(map[int][]*wrapper.Design, len(s.Cores))
 	for _, c := range s.Cores {
-		ps, err := Compute(c, maxWidth)
+		ps, ds, err := ComputeDesigns(c, maxWidth)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out[c.ID] = ps
+		sets[c.ID] = ps
+		designs[c.ID] = ds
 	}
-	return out, nil
+	return sets, designs, nil
 }

@@ -70,13 +70,22 @@ func (b *Bin) FreeWiresAt(start, end int64) []int {
 	return free
 }
 
+// wireFree reports whether wire w has no interval overlapping [start, end).
+// busy[w] holds disjoint intervals sorted by start (so also by end): binary
+// search for the first interval ending after start, which is the only
+// candidate overlap.
 func (b *Bin) wireFree(w int, start, end int64) bool {
-	for _, iv := range b.busy[w] {
-		if iv.start < end && start < iv.end {
-			return false
+	ivs := b.busy[w]
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivs[mid].end <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return true
+	return lo == len(ivs) || ivs[lo].start >= end
 }
 
 // Place occupies width wires during [start, end) for coreID, choosing the
@@ -98,20 +107,25 @@ func (b *Bin) PlacePreferred(coreID int, width int, start, end int64, prefer []i
 		return nil, fmt.Errorf("rect: core %d: bad interval [%d,%d)", coreID, start, end)
 	}
 	wires := make([]int, 0, width)
-	taken := make(map[int]bool, width)
+	taken := func(w int) bool {
+		for _, t := range wires {
+			if t == w {
+				return true
+			}
+		}
+		return false
+	}
 	for _, w := range prefer {
 		if len(wires) == width {
 			break
 		}
-		if w >= 0 && w < b.height && !taken[w] && b.wireFree(w, start, end) {
+		if w >= 0 && w < b.height && !taken(w) && b.wireFree(w, start, end) {
 			wires = append(wires, w)
-			taken[w] = true
 		}
 	}
 	for w := 0; w < b.height && len(wires) < width; w++ {
-		if !taken[w] && b.wireFree(w, start, end) {
+		if !taken(w) && b.wireFree(w, start, end) {
 			wires = append(wires, w)
-			taken[w] = true
 		}
 	}
 	if len(wires) < width {
@@ -120,8 +134,15 @@ func (b *Bin) PlacePreferred(coreID int, width int, start, end int64, prefer []i
 	}
 	sort.Ints(wires)
 	for _, w := range wires {
-		b.busy[w] = append(b.busy[w], ival{start, end})
-		sort.Slice(b.busy[w], func(i, j int) bool { return b.busy[w][i].start < b.busy[w][j].start })
+		// Insert keeping busy[w] sorted by start. Placements arrive in
+		// near-ascending start order (assignWires processes fragments
+		// globally sorted), so this is O(1) amortized where a re-sort
+		// per placement was O(k log k).
+		ivs := append(b.busy[w], ival{start, end})
+		for i := len(ivs) - 1; i > 0 && ivs[i-1].start > ivs[i].start; i-- {
+			ivs[i-1], ivs[i] = ivs[i], ivs[i-1]
+		}
+		b.busy[w] = ivs
 	}
 	b.pieces = append(b.pieces, Piece{CoreID: coreID, Start: start, End: end, Wires: wires})
 	return &b.pieces[len(b.pieces)-1], nil

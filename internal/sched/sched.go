@@ -174,25 +174,33 @@ type span struct {
 }
 
 // Optimizer schedules one SOC repeatedly with different parameters,
-// caching the expensive per-core Pareto staircases across runs (parameter
-// sweeps and width sweeps reuse them).
+// caching the expensive per-core Pareto staircases AND every (core, width)
+// wrapper design across runs (parameter sweeps and width sweeps reuse
+// them). The staircase construction designs every wrapper once anyway;
+// retaining the designs removes all wrapper design work from the
+// scheduler's inner loop.
 //
 // An Optimizer is safe for concurrent use by multiple goroutines. After
-// New returns, the SOC and the cached Pareto sets are never mutated: Run
-// allocates every piece of mutable state per call (the runner, the
-// per-core coreStates, the rect.Bin, the constraint.Checker), and
-// pareto.Set.Capped hands out read-only views that share the immutable
-// time table. SweepBest and datavol.Run exploit this by fanning Run calls
-// out over a worker pool (see Params.Workers). Callers must not mutate
-// the SOC passed to New while the Optimizer is in use.
+// New returns, the SOC, the cached Pareto sets, and the cached wrapper
+// designs are never mutated: Run allocates every piece of mutable state
+// per call (the runner, the per-core coreStates, the rect.Bin, the
+// constraint.Checker), and pareto.Set.Capped hands out read-only views
+// that share the immutable time table. SweepBest and datavol.Run exploit
+// this by fanning Run calls out over a worker pool (see Params.Workers).
+// Callers must not mutate the SOC passed to New while the Optimizer is in
+// use.
 type Optimizer struct {
 	soc      *soc.SOC
 	maxWidth int
 	sets     map[int]*pareto.Set
+	// designs caches the immutable wrapper design of every core at every
+	// width, indexed [coreID][width-1]. Populated once in New, read-only
+	// afterwards — concurrency-safe without locking.
+	designs map[int][]*wrapper.Design
 }
 
-// New validates the SOC and precomputes its Pareto sets up to maxWidth
-// (0 means DefaultMaxWidth).
+// New validates the SOC and precomputes its Pareto sets and wrapper
+// designs up to maxWidth (0 means DefaultMaxWidth).
 func New(s *soc.SOC, maxWidth int) (*Optimizer, error) {
 	if maxWidth == 0 {
 		maxWidth = DefaultMaxWidth
@@ -203,11 +211,11 @@ func New(s *soc.SOC, maxWidth int) (*Optimizer, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	sets, err := pareto.ComputeAll(s, maxWidth)
+	sets, designs, err := pareto.ComputeAllDesigns(s, maxWidth)
 	if err != nil {
 		return nil, err
 	}
-	return &Optimizer{soc: s, maxWidth: maxWidth, sets: sets}, nil
+	return &Optimizer{soc: s, maxWidth: maxWidth, sets: sets, designs: designs}, nil
 }
 
 // SOC returns the optimizer's SOC.
@@ -215,6 +223,21 @@ func (o *Optimizer) SOC() *soc.SOC { return o.soc }
 
 // ParetoSet returns the cached Pareto set of a core (full width cap).
 func (o *Optimizer) ParetoSet(coreID int) *pareto.Set { return o.sets[coreID] }
+
+// ParetoSets returns the cached Pareto sets of all cores, indexed by core
+// ID. The map and the sets are shared and must be treated as read-only.
+func (o *Optimizer) ParetoSets() map[int]*pareto.Set { return o.sets }
+
+// Design returns the cached wrapper design of a core at a width in
+// 1..maxWidth, or nil for unknown cores and out-of-range widths. The
+// design is shared and immutable.
+func (o *Optimizer) Design(coreID, width int) *wrapper.Design {
+	ds := o.designs[coreID]
+	if width < 1 || width > len(ds) {
+		return nil
+	}
+	return ds[width-1]
+}
 
 // Run schedules the SOC. The returned schedule satisfies all constraints;
 // Verify re-checks every invariant and is called by tests, not by Run.
@@ -274,11 +297,16 @@ func (o *Optimizer) Run(params Params) (*Schedule, error) {
 	}
 
 	run := &runner{
+		opt:    o,
 		soc:    s,
 		params: params,
 		chk:    chk,
 		states: states,
 		order:  order,
+	}
+	run.ord = make([]*coreState, len(order))
+	for i, id := range order {
+		run.ord[i] = states[id]
 	}
 	if err := run.schedule(); err != nil {
 		return nil, err
@@ -297,8 +325,6 @@ func (o *Optimizer) Run(params Params) (*Schedule, error) {
 	}
 	for i := range bin.Pieces() {
 		p := bin.Pieces()[i]
-		st := states[p.CoreID]
-		_ = st
 		a := out.Assignments[p.CoreID]
 		if a == nil {
 			a = &Assignment{CoreID: p.CoreID}
@@ -361,11 +387,15 @@ func assignWires(bin *rect.Bin, states map[int]*coreState, order []int) error {
 
 // runner holds the mutable state of one TAM_schedule_optimizer execution.
 type runner struct {
+	opt    *Optimizer // read-only: supplies cached wrapper designs
 	soc    *soc.SOC
 	params Params
 	chk    *constraint.Checker
 	states map[int]*coreState
 	order  []int
+	// ord holds the states in ascending core-ID order (aligned with
+	// order), so the per-instant priority scans avoid map lookups.
+	ord []*coreState
 
 	now      int64
 	wAvail   int
@@ -422,12 +452,11 @@ func (r *runner) fillPass() bool {
 // construction.
 func (r *runner) assignCapped() bool {
 	var best *coreState
-	for _, id := range r.order {
-		st := r.states[id]
+	for _, st := range r.ord {
 		if !st.begun || st.complete || st.running || st.preempts < st.maxPreempts {
 			continue
 		}
-		if st.assigned > r.wAvail || !r.chk.OK(id, r.complete, r.running) {
+		if st.assigned > r.wAvail || !r.chk.OK(st.core.ID, r.complete, r.running) {
 			continue
 		}
 		if best == nil || st.remaining > best.remaining {
@@ -445,12 +474,11 @@ func (r *runner) assignCapped() bool {
 // left, largest remaining time first.
 func (r *runner) assignResumable() bool {
 	var best *coreState
-	for _, id := range r.order {
-		st := r.states[id]
+	for _, st := range r.ord {
 		if !st.begun || st.complete || st.running || st.preempts >= st.maxPreempts {
 			continue
 		}
-		if st.assigned > r.wAvail || !r.chk.OK(id, r.complete, r.running) {
+		if st.assigned > r.wAvail || !r.chk.OK(st.core.ID, r.complete, r.running) {
 			continue
 		}
 		if best == nil || st.remaining > best.remaining {
@@ -468,9 +496,8 @@ func (r *runner) assignResumable() bool {
 // width fits, largest testing time first.
 func (r *runner) assignNew() bool {
 	var best *coreState
-	for _, id := range r.order {
-		st := r.states[id]
-		if st.begun || st.pref > r.wAvail || !r.chk.OK(id, r.complete, r.running) {
+	for _, st := range r.ord {
+		if st.begun || st.pref > r.wAvail || !r.chk.OK(st.core.ID, r.complete, r.running) {
 			continue
 		}
 		if best == nil || st.pset.Time(st.pref) > best.pset.Time(best.pref) {
@@ -494,12 +521,11 @@ func (r *runner) insertSqueezed() bool {
 		return false
 	}
 	var best *coreState
-	for _, id := range r.order {
-		st := r.states[id]
+	for _, st := range r.ord {
 		if st.begun || st.pref <= r.wAvail || st.pref > r.wAvail+r.params.InsertSlack {
 			continue
 		}
-		if !r.chk.OK(id, r.complete, r.running) {
+		if !r.chk.OK(st.core.ID, r.complete, r.running) {
 			continue
 		}
 		if best == nil || st.pref < best.pref {
@@ -527,8 +553,7 @@ func (r *runner) widenFresh() bool {
 	var best *coreState
 	var bestGain int64
 	var bestW int
-	for _, id := range r.order {
-		st := r.states[id]
+	for _, st := range r.ord {
 		if !st.running || st.firstBegin != r.now {
 			continue
 		}
@@ -550,12 +575,13 @@ func (r *runner) widenFresh() bool {
 	return true
 }
 
-// assignFresh starts a never-begun core at the given width.
+// assignFresh starts a never-begun core at the given width. The wrapper
+// design comes from the optimizer's cache — no design work happens here.
 func (r *runner) assignFresh(st *coreState, width int) {
-	d, err := wrapper.DesignWrapper(st.core, width)
-	if err != nil {
-		// Width >= 1 and core validated: cannot happen.
-		panic(err)
+	d := r.opt.Design(st.core.ID, width)
+	if d == nil {
+		// Width in 1..maxWidth and core validated: cannot happen.
+		panic(fmt.Sprintf("sched: no cached design for core %d width %d", st.core.ID, width))
 	}
 	st.design = d
 	st.assigned = width
@@ -588,12 +614,13 @@ func (r *runner) open(st *coreState) {
 	r.wAvail -= st.assigned
 }
 
-// reopenWider replaces a just-opened piece with a wider one.
+// reopenWider replaces a just-opened piece with a wider one, fetching the
+// wider design from the optimizer's cache.
 func (r *runner) reopenWider(st *coreState, width int) {
 	r.wAvail += st.assigned
-	d, err := wrapper.DesignWrapper(st.core, width)
-	if err != nil {
-		panic(err)
+	d := r.opt.Design(st.core.ID, width)
+	if d == nil {
+		panic(fmt.Sprintf("sched: no cached design for core %d width %d", st.core.ID, width))
 	}
 	st.design = d
 	st.assigned = width
@@ -665,7 +692,26 @@ func (r *runner) deadlockError() error {
 // bin validity (wires, overlaps), per-core total time = T(width) plus
 // preemption penalties, piece widths equal per core, preemption budgets,
 // precedence/concurrency/power/BIST timelines, and makespan consistency.
+// It redesigns every wrapper from scratch; Optimizer.Verify is the cached
+// equivalent.
 func Verify(s *soc.SOC, sch *Schedule) error {
+	return verify(s, sch, wrapper.DesignWrapper)
+}
+
+// Verify is the package-level Verify against the optimizer's SOC, with
+// wrapper designs served from the (core, width) cache instead of being
+// redesigned.
+func (o *Optimizer) Verify(sch *Schedule) error {
+	return verify(o.soc, sch, func(c *soc.Core, width int) (*wrapper.Design, error) {
+		if d := o.Design(c.ID, width); d != nil {
+			return d, nil
+		}
+		return wrapper.DesignWrapper(c, width)
+	})
+}
+
+// verify implements Verify with a pluggable wrapper-design source.
+func verify(s *soc.SOC, sch *Schedule, design func(*soc.Core, int) (*wrapper.Design, error)) error {
 	if err := sch.Bin.Validate(); err != nil {
 		return err
 	}
@@ -717,7 +763,7 @@ func Verify(s *soc.SOC, sch *Schedule) error {
 			return fmt.Errorf("sched: core %d scheduled %d cycles, want %d (T=%d + penalty %d)",
 				c.ID, total, want, a.BaseTime, a.PenaltyCycles)
 		}
-		d, err := wrapper.DesignWrapper(c, a.Width)
+		d, err := design(c, a.Width)
 		if err != nil {
 			return err
 		}
@@ -752,12 +798,40 @@ func SweepBest(s *soc.SOC, params Params, percents, deltas []int) (*Schedule, er
 // the best limit is SOC-dependent and user-settable); an explicit slack
 // pins that dimension.
 //
-// Grid points are independent scheduler runs, so they are fanned out over
+// The grid is deduplicated before anything runs: (percent, delta) only
+// reach the scheduler through the per-core preferred widths, so two grid
+// points with the same InsertSlack and the same preferred-width vector are
+// the same scheduler run. Fingerprints are pure Pareto-set lookups; on the
+// default 15×5×3 grid well over half the points typically collapse. Only
+// the unique representatives (the first grid point of each group) run.
+// Because duplicates have identical makespans, the first grid point
+// attaining the minimum makespan is always a representative, so the
+// returned schedule — including its echoed Params — and the error, when
+// every point fails, are bit-identical to exhaustively running the grid.
+//
+// The representative runs are independent, so they are fanned out over
 // params.Workers goroutines (0 = GOMAXPROCS, 1 = sequential). Results are
-// collected per grid point and compared in grid order, so the returned
-// schedule — and the error, when every point fails — is identical
-// regardless of the worker count.
+// collected per grid point and compared in grid order, so the outcome is
+// also identical regardless of the worker count.
 func (o *Optimizer) SweepBest(params Params, percents, deltas []int) (*Schedule, error) {
+	grid := buildGrid(params, percents, deltas)
+	return o.runGridBest(params.Workers, grid, o.gridReps(grid))
+}
+
+// sweepBestRef is the pre-deduplication sweep: every grid point runs. It
+// is retained as the differential-testing oracle for SweepBest.
+func (o *Optimizer) sweepBestRef(params Params, percents, deltas []int) (*Schedule, error) {
+	grid := buildGrid(params, percents, deltas)
+	all := make([]int, len(grid))
+	for i := range all {
+		all[i] = i
+	}
+	return o.runGridBest(params.Workers, grid, all)
+}
+
+// buildGrid expands params and the percent/delta (and, when unset, slack)
+// axes into the flat grid of scheduler runs, in sweep order.
+func buildGrid(params Params, percents, deltas []int) []Params {
 	if len(percents) == 0 {
 		percents = DefaultPercents()
 	}
@@ -781,17 +855,81 @@ func (o *Optimizer) SweepBest(params Params, percents, deltas []int) (*Schedule,
 			}
 		}
 	}
-	// Stream results into a running best ordered by (makespan, grid
-	// index) — the same winner as the sequential first-grid-point
-	// tie-break, independent of completion order — so losing schedules
-	// are released as the sweep progresses instead of all being retained
-	// until a final merge. Errors keep the lowest grid index likewise.
+	return grid
+}
+
+// gridReps fingerprints every grid point by (InsertSlack, per-core
+// preferred-width vector) and returns the grid indices of the first point
+// of each distinct fingerprint, in grid order. Points sharing a
+// fingerprint are the same scheduler run: percent and delta influence a
+// run only through pareto.Set.PreferredWidth at Initialize.
+func (o *Optimizer) gridReps(grid []Params) []int {
+	all := func() []int {
+		out := make([]int, len(grid))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if len(grid) == 0 {
+		return nil
+	}
+	// All grid points share TAMWidth/MaxWidth, so the per-core width cap
+	// is common. An invalid cap fails identically at every point inside
+	// Run; keep the full grid so error selection is untouched.
+	pd := grid[0].Defaults()
+	wmax := pd.MaxWidth
+	if wmax > pd.TAMWidth {
+		wmax = pd.TAMWidth
+	}
+	if wmax < 1 || pd.MaxWidth > o.maxWidth {
+		return all()
+	}
+	ids := make([]int, 0, len(o.sets))
+	for id := range o.sets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	capped := make([]*pareto.Set, len(ids))
+	for k, id := range ids {
+		ps, err := o.sets[id].Capped(wmax)
+		if err != nil {
+			return all() // cannot happen: wmax >= 1
+		}
+		capped[k] = ps
+	}
+	seen := make(map[string]bool, len(grid))
+	reps := make([]int, 0, len(grid))
+	key := make([]byte, 0, 2*(len(ids)+2))
+	for i, p := range grid {
+		key = key[:0]
+		key = append(key, byte(p.InsertSlack>>8), byte(p.InsertSlack))
+		for _, ps := range capped {
+			w := ps.PreferredWidth(p.Percent, p.Delta)
+			key = append(key, byte(w>>8), byte(w))
+		}
+		if k := string(key); !seen[k] {
+			seen[k] = true
+			reps = append(reps, i)
+		}
+	}
+	return reps
+}
+
+// runGridBest runs the grid points selected by idxs and returns the best
+// schedule by (makespan, grid index) — the sequential first-grid-point
+// tie-break — or, when every run fails, the error of the lowest grid
+// index. Results stream into a running best so losing schedules are
+// released as the sweep progresses instead of all being retained until a
+// final merge.
+func (o *Optimizer) runGridBest(workers int, grid []Params, idxs []int) (*Schedule, error) {
 	var mu sync.Mutex
 	var best *Schedule
 	bestIdx := len(grid)
 	var firstErr error
 	errIdx := len(grid)
-	ForEach(params.Workers, len(grid), func(i int) {
+	ForEach(workers, len(idxs), func(k int) {
+		i := idxs[k]
 		sch, err := o.Run(grid[i])
 		mu.Lock()
 		defer mu.Unlock()
@@ -897,22 +1035,43 @@ func DefaultPowerBudget(s *soc.SOC, factorPct int) int {
 
 // LargerCorePreemptions builds the paper's Table-1 preemption policy:
 // a budget of n for the "larger cores" — those whose minimum testing time
-// is at or above the median — and 0 for the rest.
+// is at or above the median — and 0 for the rest. It recomputes every
+// Pareto staircase; Optimizer.LargerCorePreemptions reuses the cache.
 func LargerCorePreemptions(s *soc.SOC, maxWidth, n int) (map[int]int, error) {
 	if maxWidth < 1 {
 		return nil, fmt.Errorf("sched: non-positive max width %d", maxWidth)
 	}
+	minTime := func(c *soc.Core) (int64, error) {
+		ps, err := pareto.Compute(c, maxWidth)
+		if err != nil {
+			return 0, err
+		}
+		return ps.MinTime(), nil
+	}
+	return largerCorePreemptions(s, n, minTime)
+}
+
+// LargerCorePreemptions is the package-level policy builder evaluated from
+// the optimizer's cached Pareto sets (width cap = the optimizer's
+// maxWidth), with no staircase recomputation.
+func (o *Optimizer) LargerCorePreemptions(n int) (map[int]int, error) {
+	return largerCorePreemptions(o.soc, n, func(c *soc.Core) (int64, error) {
+		return o.sets[c.ID].MinTime(), nil
+	})
+}
+
+func largerCorePreemptions(s *soc.SOC, n int, minTime func(*soc.Core) (int64, error)) (map[int]int, error) {
 	type ct struct {
 		id int
 		t  int64
 	}
 	var all []ct
 	for _, c := range s.Cores {
-		ps, err := pareto.Compute(c, maxWidth)
+		t, err := minTime(c)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, ct{c.ID, ps.MinTime()})
+		all = append(all, ct{c.ID, t})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
 	median := all[len(all)/2].t

@@ -1,0 +1,42 @@
+// Differential coverage over the real benchmark SOCs. This lives in an
+// external test package because internal/bench transitively imports
+// wrapper; external test packages may close that cycle.
+package wrapper_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/wrapper"
+)
+
+// TestDesignWrapperMatchesReferenceBenchSOCs asserts the hard tentpole bar:
+// the optimized DesignWrapper produces designs identical to the retained
+// reference over every core of every benchmark SOC at every width 1..64.
+func TestDesignWrapperMatchesReferenceBenchSOCs(t *testing.T) {
+	socs := bench.All()
+	demo, err := bench.ByName("demo8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	socs = append(socs, demo)
+	for _, s := range socs {
+		for _, c := range s.Cores {
+			for w := 1; w <= 64; w++ {
+				got, err := wrapper.DesignWrapper(c, w)
+				if err != nil {
+					t.Fatalf("%s core %d w=%d: %v", s.Name, c.ID, w, err)
+				}
+				want, err := wrapper.DesignWrapperRef(c, w)
+				if err != nil {
+					t.Fatalf("%s core %d w=%d (ref): %v", s.Name, c.ID, w, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s core %d w=%d: designs differ\n got  %+v\n want %+v",
+						s.Name, c.ID, w, got, want)
+				}
+			}
+		}
+	}
+}

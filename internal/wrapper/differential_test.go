@@ -1,0 +1,84 @@
+package wrapper
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/soc"
+)
+
+// TestDesignWrapperMatchesReferenceRandom fuzzes the optimized DesignWrapper
+// against the retained unit-by-unit reference: every design must be
+// byte-identical (chain contents, cell counts, tie-breaks, si/so maxima).
+func TestDesignWrapperMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		nchains := rng.Intn(12)
+		chains := make([]int, nchains)
+		for j := range chains {
+			chains[j] = rng.Intn(200) // zero-length chains allowed
+		}
+		c := &soc.Core{
+			ID:         1,
+			Name:       "fuzz",
+			Inputs:     rng.Intn(500),
+			Outputs:    rng.Intn(500),
+			Bidirs:     rng.Intn(120),
+			ScanChains: chains,
+			Test:       soc.Test{Patterns: 1 + rng.Intn(300), BISTEngine: -1},
+		}
+		w := 1 + rng.Intn(20)
+		got, err := DesignWrapper(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := designWrapperRef(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d (w=%d, core %+v):\n got  %+v\n want %+v", i, w, c, got, want)
+		}
+		if err := got.Validate(c); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+// TestFillMatchesReference pins the closed-form water-filling against the
+// unit-by-unit loop on hand-picked shapes: empty chains, pre-loaded chains,
+// plateaus with remainders, and n smaller/larger than the chain count.
+func TestFillMatchesReference(t *testing.T) {
+	cases := []struct {
+		loads []int
+		n     int
+	}{
+		{[]int{0}, 0},
+		{[]int{0}, 5},
+		{[]int{0, 0}, 3},
+		{[]int{2, 0}, 1},
+		{[]int{1, 0}, 2},
+		{[]int{5, 5, 5}, 7},
+		{[]int{9, 3, 3, 1}, 2},
+		{[]int{9, 3, 3, 1}, 11},
+		{[]int{9, 3, 3, 1}, 1000},
+		{[]int{7, 7, 0, 7}, 13},
+		{[]int{0, 1, 2, 3, 4, 5}, 4},
+	}
+	for _, tc := range cases {
+		mk := func() []Chain {
+			chains := make([]Chain, len(tc.loads))
+			for j, l := range tc.loads {
+				chains[j].ScanBits = l
+			}
+			return chains
+		}
+		got, want := mk(), mk()
+		fill(got, tc.n, func(ch *Chain) int { return ch.ScanIn() }, func(ch *Chain, n int) { ch.InputCells += n })
+		fillRef(want, tc.n, func(ch *Chain) int { return ch.ScanIn() }, func(ch *Chain) { ch.InputCells++ })
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("fill(loads=%v, n=%d):\n got  %+v\n want %+v", tc.loads, tc.n, got, want)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package wrapper
+
+// DesignWrapperRef exposes the reference implementation to external test
+// packages (internal tests would cycle through internal/bench otherwise).
+var DesignWrapperRef = designWrapperRef

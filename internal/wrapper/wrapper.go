@@ -4,6 +4,15 @@
 // wrapper I/O cells into a given number of wrapper scan chains, and the
 // resulting core test application time model used throughout the DAC 2002
 // framework.
+//
+// The implementation is output-identical to the paper's greedy recipe but
+// asymptotically cheaper: the BFD scan-chain partition keeps the wrapper
+// chains in a min-heap (O(n log w) for n scan chains over w wrapper
+// chains), and the wrapper-cell water-filling is evaluated in closed form
+// (O(w log w), independent of the cell count — unit items fill to a water
+// level, so the final distribution never needs to be simulated cell by
+// cell). Cores with thousands of I/O terminals cost the same as cores
+// with none.
 package wrapper
 
 import (
@@ -180,7 +189,9 @@ func DesignWrapper(c *soc.Core, width int) (*Design, error) {
 		Patterns: c.Test.Patterns,
 	}
 
-	// Step 1: scan chains, longest first, onto the least-loaded wrapper chain.
+	// Step 1: scan chains, longest first, onto the least-loaded wrapper
+	// chain. The chains live in a min-heap keyed by (ScanBits, chain
+	// index), which reproduces the linear scan's lowest-index tie-break.
 	order := make([]int, len(c.ScanChains))
 	for i := range order {
 		order[i] = i
@@ -192,15 +203,17 @@ func DesignWrapper(c *soc.Core, width int) (*Design, error) {
 		}
 		return order[a] < order[b] // deterministic tie-break
 	})
+	// All loads start at 0 in index order: already a valid min-heap.
+	h := make(loadHeap, width)
+	for j := range h {
+		h[j].idx = j
+	}
 	for _, sc := range order {
-		best := 0
-		for j := 1; j < width; j++ {
-			if d.Chains[j].ScanBits < d.Chains[best].ScanBits {
-				best = j
-			}
-		}
-		d.Chains[best].ScanChains = append(d.Chains[best].ScanChains, sc)
-		d.Chains[best].ScanBits += c.ScanChains[sc]
+		ch := &d.Chains[h[0].idx]
+		ch.ScanChains = append(ch.ScanChains, sc)
+		ch.ScanBits += c.ScanChains[sc]
+		h[0].load = ch.ScanBits
+		h.siftDown(0)
 	}
 
 	// Step 2: wrapper cells by water-filling. Bidirs affect both sides, so
@@ -212,9 +225,9 @@ func DesignWrapper(c *soc.Core, width int) (*Design, error) {
 			return si
 		}
 		return so
-	}, func(ch *Chain) { ch.BidirCells++ })
-	fill(d.Chains, c.Inputs, func(ch *Chain) int { return ch.ScanIn() }, func(ch *Chain) { ch.InputCells++ })
-	fill(d.Chains, c.Outputs, func(ch *Chain) int { return ch.ScanOut() }, func(ch *Chain) { ch.OutputCells++ })
+	}, func(ch *Chain, n int) { ch.BidirCells += n })
+	fill(d.Chains, c.Inputs, func(ch *Chain) int { return ch.ScanIn() }, func(ch *Chain, n int) { ch.InputCells += n })
+	fill(d.Chains, c.Outputs, func(ch *Chain) int { return ch.ScanOut() }, func(ch *Chain, n int) { ch.OutputCells += n })
 
 	for j := range d.Chains {
 		if si := d.Chains[j].ScanIn(); si > d.ScanInMax {
@@ -227,20 +240,86 @@ func DesignWrapper(c *soc.Core, width int) (*Design, error) {
 	return d, nil
 }
 
-// fill distributes n unit cells over the chains one at a time, always onto
-// the chain whose load (as reported by loadOf) is currently smallest. This
-// is exact water-filling for unit items: the resulting maximum load is
-// minimal.
-func fill(chains []Chain, n int, loadOf func(*Chain) int, add func(*Chain)) {
-	for ; n > 0; n-- {
-		best := 0
-		bestLoad := loadOf(&chains[0])
-		for j := 1; j < len(chains); j++ {
-			if l := loadOf(&chains[j]); l < bestLoad {
-				best, bestLoad = j, l
+// loadHeap is a binary min-heap over (load, chain index), ordered by load
+// then index. The index tie-break makes heap selection identical to a
+// left-to-right linear scan for the minimum.
+type loadHeap []struct{ load, idx int }
+
+func (h loadHeap) less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h loadHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// fill distributes n unit cells over the chains by exact water-filling:
+// conceptually each cell lands on the chain whose load (as reported by
+// loadOf) is currently smallest, lowest index on ties, which minimizes the
+// maximum load. Because every cell raises its chain's load by exactly one,
+// the greedy endpoint has a closed form and is computed directly in
+// O(w log w), independent of n: loads below the final water level L are
+// topped up to L, and the r leftover cells (r < number of chains at L) go
+// one each to the lowest-indexed chains at L — exactly the greedy
+// tie-break order. add must apply count cells at once.
+func fill(chains []Chain, n int, loadOf func(*Chain) int, add func(*Chain, int)) {
+	if n <= 0 {
+		return
+	}
+	w := len(chains)
+	loads := make([]int, w)
+	for j := range chains {
+		loads[j] = loadOf(&chains[j])
+	}
+	sorted := append([]int(nil), loads...)
+	sort.Ints(sorted)
+
+	// Raise the water level plateau by plateau while whole levels fit.
+	level := sorted[0]
+	used := 0 // cells consumed bringing the k lowest chains up to level
+	k := 1    // number of chains with load <= level
+	for k < w {
+		need := k * (sorted[k] - level)
+		if used+need > n {
+			break
+		}
+		used += need
+		level = sorted[k]
+		k++
+	}
+	rem := n - used
+	level += rem / k
+	r := rem % k // leftover cells for the first r active chains by index
+
+	for j := range chains {
+		addN := 0
+		if loads[j] <= level {
+			addN = level - loads[j]
+			if r > 0 {
+				addN++
+				r--
 			}
 		}
-		add(&chains[best])
+		if addN > 0 {
+			add(&chains[j], addN)
+		}
 	}
 }
 
