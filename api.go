@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -102,10 +103,25 @@ func (p *Planner) ScheduleBest(opts Options) (*TestSchedule, error) {
 	return p.opt.SweepBest(opts, nil, nil)
 }
 
+// ScheduleBestContext is ScheduleBest with cancellation: once ctx is done
+// the grid sweep stops launching scheduler runs and returns ctx's error.
+// A nil or never-cancelled ctx returns exactly what ScheduleBest returns.
+func (p *Planner) ScheduleBestContext(ctx context.Context, opts Options) (*TestSchedule, error) {
+	return p.opt.SweepBestContext(ctx, opts, nil, nil)
+}
+
 // SweepWidths schedules the SOC at every TAM width in [lo, hi] (workers
 // as in SweepWidthsWorkers), reusing the Planner's caches across widths.
 func (p *Planner) SweepWidths(lo, hi, workers int) (*WidthSweep, error) {
 	return datavol.RunWith(p.opt, datavol.Config{WidthLo: lo, WidthHi: hi, Workers: workers})
+}
+
+// SweepWidthsContext is SweepWidths with cancellation: once ctx is done
+// the width fan-out and the per-width grid sweeps stop promptly and ctx's
+// error is returned. A nil or never-cancelled ctx returns exactly what
+// SweepWidths returns.
+func (p *Planner) SweepWidthsContext(ctx context.Context, lo, hi, workers int) (*WidthSweep, error) {
+	return datavol.RunWithContext(ctx, p.opt, datavol.Config{WidthLo: lo, WidthHi: hi, Workers: workers})
 }
 
 // Verify re-derives every schedule invariant, with wrapper designs served
@@ -211,6 +227,16 @@ func BenchmarkSOC(name string) *SOC {
 		panic(err)
 	}
 	return s
+}
+
+// Fingerprint returns the canonical content fingerprint of an SOC: the hex
+// SHA-256 of its normalized serialized description. Semantically identical
+// SOCs (same cores, tests, and constraint sets, regardless of constraint
+// listing order) fingerprint identically, so the fingerprint is a stable
+// cache key for Planners and schedules — a service holds one Planner per
+// fingerprint, not one per upload.
+func Fingerprint(s *SOC) string {
+	return socfile.Fingerprint(s)
 }
 
 // LoadSOC parses an SOC description file (.soc grammar; see package

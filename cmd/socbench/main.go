@@ -16,9 +16,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -28,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/soc"
 )
 
@@ -168,6 +173,42 @@ func runBenchJSON(path, note string) {
 				if _, err := sched.New(s, sched.DefaultMaxWidth); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"ServiceScheduleD695", func(b *testing.B) {
+			// One full socserved round-trip per op against a warm Planner
+			// registry (the same shape as BenchmarkServiceScheduleD695).
+			svc, err := service.New(service.Config{Preload: []string{"d695"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+			body, err := json.Marshal(map[string]any{
+				"soc":    "d695",
+				"params": service.ParamsJSON{TAMWidth: 32, Percent: 10, Delta: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			do := func() {
+				resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("HTTP %d", resp.StatusCode)
+				}
+			}
+			do() // warm up outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				do()
 			}
 		}},
 	}

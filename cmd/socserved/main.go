@@ -1,0 +1,89 @@
+// Command socserved serves the repro framework over HTTP: upload SOC test
+// descriptions (.soc text or JSON), schedule them (single runs or
+// grid-swept best), run TAM width sweeps as cancellable async jobs, pick
+// effective widths, and render Gantt SVGs. Responses are byte-identical
+// to the library's direct Planner answers.
+//
+// Usage:
+//
+//	socserved [-addr :8080] [-planners 32] [-job-workers N]
+//	          [-job-queue 64] [-jobs-retained 256] [-preload all] [-quiet]
+//
+// See the README's "Running as a service" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		planners = flag.Int("planners", service.DefaultPlannerCapacity, "max Planners held in the LRU (one per SOC fingerprint)")
+		workers  = flag.Int("job-workers", runtime.GOMAXPROCS(0), "async job worker pool size")
+		queue    = flag.Int("job-queue", service.DefaultJobQueue, "max queued async jobs before 503")
+		retained = flag.Int("jobs-retained", service.DefaultJobRetained, "max finished jobs retained for polling")
+		preload  = flag.String("preload", "all", "comma-separated built-in SOCs to register at startup (\"all\", \"\" for none)")
+		quiet    = flag.Bool("quiet", false, "suppress request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "socserved: ", log.LstdFlags)
+	var reqLog *log.Logger
+	if !*quiet {
+		reqLog = logger
+	}
+	var names []string
+	if *preload != "" {
+		names = strings.Split(*preload, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	svc, err := service.New(service.Config{
+		PlannerCapacity: *planners,
+		JobWorkers:      *workers,
+		JobQueue:        *queue,
+		JobRetained:     *retained,
+		Preload:         names,
+		Logger:          reqLog,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		logger.Printf("listening on %s (job workers: %d, planner LRU: %d)", *addr, *workers, *planners)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	logger.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	svc.Close() // cancels running sweep jobs and drains the pool
+}

@@ -36,6 +36,17 @@
 // downstream user needs. The cmd/ tools regenerate every table and figure
 // of the paper; see DESIGN.md and EXPERIMENTS.md.
 //
+// # Service
+//
+// cmd/socserved (package internal/service) serves this API over HTTP:
+// SOCs are deduplicated by Fingerprint, Planners are built once per
+// fingerprint behind singleflight dedup and held in a size-bounded LRU,
+// and long sweeps run as cancellable async jobs. The context-aware
+// variants (Planner.ScheduleBestContext, Planner.SweepWidthsContext)
+// carry that cancellation down into the sweep worker pools; with a nil or
+// never-cancelled context they return exactly what their context-free
+// counterparts return.
+//
 // # Concurrency
 //
 // A sched.Optimizer (and therefore a Planner) is safe for concurrent use:

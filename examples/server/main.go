@@ -1,0 +1,125 @@
+// Example server demonstrates driving a running socserved instance as a
+// client: upload a SOC, request the grid-swept best schedule, submit an
+// async width-sweep job, poll it, and pick the effective TAM width.
+//
+// Start the service first:
+//
+//	go run ./cmd/socserved -addr :8080
+//
+// then:
+//
+//	go run ./examples/server -addr http://127.0.0.1:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "socserved base URL")
+	flag.Parse()
+
+	// Upload the demo SOC in .soc text form. BenchmarkSOC + WriteSOC stand
+	// in for reading a .soc file off disk.
+	var socText bytes.Buffer
+	if err := repro.WriteSOC(&socText, repro.BenchmarkSOC("demo8")); err != nil {
+		log.Fatal(err)
+	}
+	var up struct {
+		Fingerprint string `json:"fingerprint"`
+		Name        string `json:"name"`
+	}
+	post(*addr+"/v1/socs", "text/plain", socText.Bytes(), &up)
+	fmt.Printf("uploaded %s → fingerprint %s\n", up.Name, up.Fingerprint[:12])
+
+	// Grid-swept best schedule at W=24, addressed by fingerprint.
+	var sch struct {
+		Makespan   int64 `json:"makespan"`
+		DataVolume int64 `json:"dataVolume"`
+	}
+	post(*addr+"/v1/schedule/best", "application/json",
+		jsonBody(map[string]any{"soc": up.Fingerprint, "params": map[string]any{"tamWidth": 24}}), &sch)
+	fmt.Printf("best schedule at W=24: makespan %d cycles, data volume %d bits\n", sch.Makespan, sch.DataVolume)
+
+	// Async width sweep: submit, poll, fetch the result.
+	var job struct {
+		Job       struct{ ID, State string }
+		StatusURL string `json:"statusUrl"`
+		ResultURL string `json:"resultUrl"`
+	}
+	post(*addr+"/v1/sweep", "application/json",
+		jsonBody(map[string]any{"soc": up.Name, "widthLo": 8, "widthHi": 32}), &job)
+	fmt.Printf("sweep job %s submitted\n", job.Job.ID)
+	for {
+		var st struct{ State string }
+		get(*addr+job.StatusURL, &st)
+		if st.State != "queued" && st.State != "running" {
+			fmt.Printf("sweep job %s: %s\n", job.Job.ID, st.State)
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	var sweep struct {
+		MinTime        int64
+		MinTimeWidth   int
+		MinVolume      int64
+		MinVolumeWidth int
+	}
+	get(*addr+job.ResultURL, &sweep)
+	fmt.Printf("sweep: T_min %d @ W=%d, D_min %d @ W=%d\n",
+		sweep.MinTime, sweep.MinTimeWidth, sweep.MinVolume, sweep.MinVolumeWidth)
+
+	// Effective width with equal time/volume weight.
+	var eff struct {
+		TAMWidth int
+		Time     int64
+		Volume   int64
+	}
+	post(*addr+"/v1/effective", "application/json",
+		jsonBody(map[string]any{"soc": up.Name, "widthLo": 8, "widthHi": 32, "gamma": 0.5}), &eff)
+	fmt.Printf("effective width (γ=0.5): W=%d (T=%d, D=%d)\n", eff.TAMWidth, eff.Time, eff.Volume)
+}
+
+func jsonBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func post(url, contentType string, body []byte, out any) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v (is socserved running?)", url, err)
+	}
+	decode(url, resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	decode(url, resp, out)
+}
+
+func decode(url string, resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("%s: decode: %v", url, err)
+	}
+}

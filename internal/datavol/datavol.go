@@ -15,6 +15,7 @@
 package datavol
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -77,11 +78,20 @@ type Config struct {
 // over cfg.Workers goroutines; see Config.Workers for the determinism
 // guarantee.
 func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
+	return RunContext(context.Background(), s, cfg)
+}
+
+// RunContext is Run with cancellation: once ctx is done the sweep stops
+// scheduling further widths (and the per-width parameter-grid sweeps stop
+// launching grid points), in-flight scheduler runs finish, and ctx's error
+// is returned. A nil ctx behaves like context.Background(), and an
+// uncancellable context leaves the Sweep byte-identical to Run.
+func RunContext(ctx context.Context, s *soc.SOC, cfg Config) (*Sweep, error) {
 	opt, err := sched.New(s, cfg.Params.Defaults().MaxWidth)
 	if err != nil {
 		return nil, err
 	}
-	return RunWith(opt, cfg)
+	return RunWithContext(ctx, opt, cfg)
 }
 
 // RunWith is Run against a pre-built scheduler optimizer, reusing its
@@ -89,6 +99,15 @@ func Run(s *soc.SOC, cfg Config) (*Sweep, error) {
 // answering repeated sweeps for one SOC pays the staircase construction
 // once). The optimizer's width cap must cover cfg.Params.MaxWidth.
 func RunWith(opt *sched.Optimizer, cfg Config) (*Sweep, error) {
+	return RunWithContext(context.Background(), opt, cfg)
+}
+
+// RunWithContext is RunWith with cancellation (see RunContext for the
+// contract).
+func RunWithContext(ctx context.Context, opt *sched.Optimizer, cfg Config) (*Sweep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := opt.SOC()
 	if cfg.WidthLo == 0 {
 		cfg.WidthLo = 4
@@ -108,7 +127,7 @@ func RunWith(opt *sched.Optimizer, cfg Config) (*Sweep, error) {
 	// lowest failing width's, exactly as on the sequential path.
 	var minFail atomic.Int64
 	minFail.Store(int64(n))
-	sched.ForEach(cfg.Workers, n, func(i int) {
+	ferr := sched.ForEachContext(ctx, cfg.Workers, n, func(i int) {
 		if int64(i) > minFail.Load() {
 			return
 		}
@@ -120,7 +139,7 @@ func RunWith(opt *sched.Optimizer, cfg Config) (*Sweep, error) {
 		} else if p.Workers == 0 {
 			p.Workers = 1 // Workers == 1 means fully sequential
 		}
-		best, err := opt.SweepBest(p, cfg.Percents, cfg.Deltas)
+		best, err := opt.SweepBestContext(ctx, p, cfg.Percents, cfg.Deltas)
 		if err != nil {
 			errs[i] = fmt.Errorf("datavol: width %d: %v", w, err)
 			for {
@@ -133,6 +152,9 @@ func RunWith(opt *sched.Optimizer, cfg Config) (*Sweep, error) {
 		}
 		samples[i] = Sample{TAMWidth: w, Time: best.Makespan, Volume: int64(w) * best.Makespan}
 	})
+	if ferr != nil {
+		return nil, ferr // cancelled: the partial sweep is meaningless
+	}
 	if m := minFail.Load(); m < int64(n) {
 		return nil, errs[m]
 	}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestSweepBestContextMatchesSweepBest asserts the satellite guarantee:
+// nil and Background contexts leave SweepBest's result byte-identical, on
+// both the sequential and parallel paths.
+func TestSweepBestContextMatchesSweepBest(t *testing.T) {
+	s, err := bench.ByName("demo8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		want, err := opt.SweepBest(Params{TAMWidth: 24, Workers: workers}, detPercents, detDeltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ctx := range []context.Context{nil, context.Background()} {
+			got, err := opt.SweepBestContext(ctx, Params{TAMWidth: 24, Workers: workers}, detPercents, detDeltas)
+			if err != nil {
+				t.Fatalf("workers=%d ctx=%v: %v", workers, ctx, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d ctx=%v: SweepBestContext differs from SweepBest", workers, ctx)
+			}
+		}
+	}
+}
+
+// TestSweepBestContextCancelled asserts a pre-cancelled context aborts the
+// sweep with the context's error on both paths.
+func TestSweepBestContextCancelled(t *testing.T) {
+	s, err := bench.ByName("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		sch, err := opt.SweepBestContext(ctx, Params{TAMWidth: 32, Workers: workers}, nil, nil)
+		if sch != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got (%v, %v), want (nil, context.Canceled)", workers, sch, err)
+		}
+	}
+}
+
+// TestForEachContextStopsClaiming asserts cancellation mid-loop stops new
+// indices promptly: after the cancel fires no more than one in-flight call
+// per worker completes.
+func TestForEachContextStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		err := ForEachContext(ctx, workers, 100000, func(i int) {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most 5 pre-cancel calls plus one straggler per worker.
+		if n := calls.Load(); n > int64(5+workers) {
+			t.Fatalf("workers=%d: %d calls ran after cancellation", workers, n)
+		}
+		cancel()
+	}
+}
+
+// TestForEachContextNilMatchesForEach asserts a nil context runs every
+// index, exactly like ForEach.
+func TestForEachContextNilMatchesForEach(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		if err := ForEachContext(nil, workers, 1000, func(i int) { calls.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n := calls.Load(); n != 1000 {
+			t.Fatalf("workers=%d: %d calls, want 1000", workers, n)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -784,11 +785,19 @@ func verify(s *soc.SOC, sch *Schedule, design func(*soc.Core, int) (*wrapper.Des
 // (percent 1..10, delta 0..4 by default) and returns the best schedule.
 // Grids may be overridden; empty slices mean the defaults.
 func SweepBest(s *soc.SOC, params Params, percents, deltas []int) (*Schedule, error) {
+	return SweepBestContext(context.Background(), s, params, percents, deltas)
+}
+
+// SweepBestContext is SweepBest with cancellation: once ctx is done the
+// sweep stops launching grid points, lets in-flight runs finish, and
+// returns ctx's error. A nil ctx behaves like context.Background(), and an
+// uncancellable context leaves the result byte-identical to SweepBest.
+func SweepBestContext(ctx context.Context, s *soc.SOC, params Params, percents, deltas []int) (*Schedule, error) {
 	o, err := New(s, params.Defaults().MaxWidth)
 	if err != nil {
 		return nil, err
 	}
-	return o.SweepBest(params, percents, deltas)
+	return o.SweepBestContext(ctx, params, percents, deltas)
 }
 
 // SweepBest runs the optimizer over a (percent, delta, insert-slack) grid
@@ -814,8 +823,14 @@ func SweepBest(s *soc.SOC, params Params, percents, deltas []int) (*Schedule, er
 // collected per grid point and compared in grid order, so the outcome is
 // also identical regardless of the worker count.
 func (o *Optimizer) SweepBest(params Params, percents, deltas []int) (*Schedule, error) {
+	return o.SweepBestContext(context.Background(), params, percents, deltas)
+}
+
+// SweepBestContext is SweepBest with cancellation (see the package-level
+// SweepBestContext for the contract).
+func (o *Optimizer) SweepBestContext(ctx context.Context, params Params, percents, deltas []int) (*Schedule, error) {
 	grid := buildGrid(params, percents, deltas)
-	return o.runGridBest(params.Workers, grid, o.gridReps(grid))
+	return o.runGridBest(ctx, params.Workers, grid, o.gridReps(grid))
 }
 
 // sweepBestRef is the pre-deduplication sweep: every grid point runs. It
@@ -826,7 +841,7 @@ func (o *Optimizer) sweepBestRef(params Params, percents, deltas []int) (*Schedu
 	for i := range all {
 		all[i] = i
 	}
-	return o.runGridBest(params.Workers, grid, all)
+	return o.runGridBest(context.Background(), params.Workers, grid, all)
 }
 
 // buildGrid expands params and the percent/delta (and, when unset, slack)
@@ -921,14 +936,14 @@ func (o *Optimizer) gridReps(grid []Params) []int {
 // tie-break — or, when every run fails, the error of the lowest grid
 // index. Results stream into a running best so losing schedules are
 // released as the sweep progresses instead of all being retained until a
-// final merge.
-func (o *Optimizer) runGridBest(workers int, grid []Params, idxs []int) (*Schedule, error) {
+// final merge. A cancelled ctx abandons the sweep and returns its error.
+func (o *Optimizer) runGridBest(ctx context.Context, workers int, grid []Params, idxs []int) (*Schedule, error) {
 	var mu sync.Mutex
 	var best *Schedule
 	bestIdx := len(grid)
 	var firstErr error
 	errIdx := len(grid)
-	ForEach(workers, len(idxs), func(k int) {
+	if err := ForEachContext(ctx, workers, len(idxs), func(k int) {
 		i := idxs[k]
 		sch, err := o.Run(grid[i])
 		mu.Lock()
@@ -943,7 +958,9 @@ func (o *Optimizer) runGridBest(workers int, grid []Params, idxs []int) (*Schedu
 			(sch.Makespan == best.Makespan && i < bestIdx) {
 			best, bestIdx = sch, i
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if best == nil {
 		return nil, firstErr
 	}
@@ -968,15 +985,31 @@ func ResolveWorkers(n int) int {
 // sequential path. fn must be safe for concurrent invocation with
 // distinct indices; indices are claimed atomically so each runs once.
 func ForEach(workers, n int, fn func(int)) {
+	ForEachContext(context.Background(), workers, n, fn) // Background never fails
+}
+
+// ForEachContext is ForEach with cancellation: each worker checks ctx
+// before claiming the next index, so once ctx is done no new fn calls
+// start; in-flight calls run to completion. It returns ctx's error when
+// the loop was cut short, nil when every index ran. A nil ctx behaves like
+// context.Background(), which makes ForEachContext(nil, ...) — and any
+// never-cancelled context — index-for-index identical to ForEach.
+func ForEachContext(ctx context.Context, workers, n int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := ResolveWorkers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -984,7 +1017,7 @@ func ForEach(workers, n int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -994,6 +1027,7 @@ func ForEach(workers, n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // DefaultPercents returns the α sweep grid: the paper's 1..10 plus a few

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServiceScheduleD695 measures a full service round-trip — HTTP
+// request decode, registry hit on a warm Planner, scheduler run, schedio
+// response encode — for a single d695 schedule at W=32. The gap between
+// this and BenchmarkSingleSchedule-style library numbers is the service
+// overhead per request.
+func BenchmarkServiceScheduleD695(b *testing.B) {
+	svc, err := New(Config{Preload: []string{"d695"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(map[string]any{
+		"soc":    "d695",
+		"params": ParamsJSON{TAMWidth: 32, Percent: 10, Delta: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	do := func() {
+		resp, err := client.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+	}
+	do() // warm the Planner outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+}

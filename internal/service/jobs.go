@@ -1,0 +1,338 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of an async job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing it.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; the result is available.
+	JobDone JobState = "done"
+	// JobFailed: finished with a non-cancellation error.
+	JobFailed JobState = "failed"
+	// JobCancelled: cancelled before or during execution.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// ErrQueueFull reports a Submit rejected because the job queue is at
+// capacity (the HTTP layer maps it to 503).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed reports a Submit after Close.
+var ErrClosed = errors.New("service: job pool closed")
+
+// Job is one asynchronous unit of work. All state is guarded by the owning
+// pool's mutex; read it through Snapshot.
+type Job struct {
+	id      string
+	kind    string
+	state   JobState
+	result  any
+	err     error
+	created time.Time
+	started time.Time
+	ended   time.Time
+	cancel  context.CancelFunc
+	ctx     context.Context
+	run     func(context.Context) (any, error)
+	done    chan struct{} // closed when the job reaches a terminal state
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is a copyable snapshot of a job.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    JobState  `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Ended    time.Time `json:"ended,omitzero"`
+	Duration string    `json:"duration,omitempty"`
+}
+
+// Jobs is a bounded asynchronous job pool: a fixed set of workers drains a
+// bounded queue, every job carries a cancellable context, and finished
+// jobs are retained (bounded) so clients can poll results. All methods are
+// safe for concurrent use.
+type Jobs struct {
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // creation order, for retention pruning
+	queue    chan *Job
+	seq      int64
+	retained int
+	closed   bool
+	baseCtx  context.Context
+	stopAll  context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// Queue and retention bounds applied by NewJobs when Config leaves them
+// unset.
+const (
+	DefaultJobQueue    = 64
+	DefaultJobRetained = 256
+)
+
+// NewJobs starts a pool of workers (<= 0 means 1) with a bounded queue
+// (queue <= 0 means DefaultJobQueue) retaining at most retained finished
+// jobs (<= 0 means DefaultJobRetained).
+func NewJobs(workers, queue, retained int) *Jobs {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue <= 0 {
+		queue = DefaultJobQueue
+	}
+	if retained <= 0 {
+		retained = DefaultJobRetained
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Jobs{
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, queue),
+		retained: retained,
+		baseCtx:  ctx,
+		stopAll:  cancel,
+	}
+	for i := 0; i < workers; i++ {
+		j.wg.Add(1)
+		go j.worker()
+	}
+	return j
+}
+
+// Submit enqueues a job. run receives a context cancelled by Cancel (or by
+// Close) and should return promptly once it is done; returning the
+// context's error marks the job cancelled rather than failed.
+func (j *Jobs) Submit(kind string, run func(context.Context) (any, error)) (*Job, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j.seq++
+	ctx, cancel := context.WithCancel(j.baseCtx)
+	jb := &Job{
+		id:      fmt.Sprintf("job-%06d", j.seq),
+		kind:    kind,
+		state:   JobQueued,
+		created: time.Now(),
+		cancel:  cancel,
+		ctx:     ctx,
+		run:     run,
+		done:    make(chan struct{}),
+	}
+	select {
+	case j.queue <- jb:
+	default:
+		j.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	j.jobs[jb.id] = jb
+	j.order = append(j.order, jb.id)
+	j.pruneLocked()
+	j.mu.Unlock()
+	return jb, nil
+}
+
+// pruneLocked drops the oldest terminal jobs beyond the retention bound.
+// j.mu must be held.
+func (j *Jobs) pruneLocked() {
+	if len(j.jobs) <= j.retained {
+		return
+	}
+	kept := j.order[:0]
+	for _, id := range j.order {
+		jb := j.jobs[id]
+		if jb != nil && len(j.jobs) > j.retained && jb.state.Terminal() {
+			delete(j.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	j.order = kept
+}
+
+// Get returns a job by ID.
+func (j *Jobs) Get(id string) (*Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	jb, ok := j.jobs[id]
+	return jb, ok
+}
+
+// Snapshot returns the job's current status.
+func (j *Jobs) Snapshot(jb *Job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      jb.id,
+		Kind:    jb.kind,
+		State:   jb.state,
+		Created: jb.created,
+		Started: jb.started,
+		Ended:   jb.ended,
+	}
+	if jb.err != nil {
+		st.Error = jb.err.Error()
+	}
+	if !jb.started.IsZero() && !jb.ended.IsZero() {
+		st.Duration = jb.ended.Sub(jb.started).String()
+	}
+	return st
+}
+
+// Result returns a terminal job's result and error. ok is false while the
+// job is still queued or running.
+func (j *Jobs) Result(jb *Job) (result any, err error, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !jb.state.Terminal() {
+		return nil, nil, false
+	}
+	return jb.result, jb.err, true
+}
+
+// Cancel requests cancellation of a job. A queued job is marked cancelled
+// immediately (the worker will skip it); a running job has its context
+// cancelled and reaches the cancelled state once its workers unwind.
+// Cancelling a terminal job is a no-op.
+func (j *Jobs) Cancel(id string) (*Job, bool) {
+	j.mu.Lock()
+	jb, ok := j.jobs[id]
+	if !ok {
+		j.mu.Unlock()
+		return nil, false
+	}
+	if jb.state == JobQueued {
+		jb.state = JobCancelled
+		jb.err = context.Canceled
+		jb.ended = time.Now()
+		close(jb.done)
+	}
+	j.mu.Unlock()
+	jb.cancel() // outside the lock: may synchronously wake run()
+	return jb, true
+}
+
+// worker drains the queue until Close.
+func (j *Jobs) worker() {
+	defer j.wg.Done()
+	for jb := range j.queue {
+		j.mu.Lock()
+		if jb.state != JobQueued { // cancelled while queued
+			j.mu.Unlock()
+			continue
+		}
+		if jb.ctx.Err() != nil { // pool shutting down
+			jb.state = JobCancelled
+			jb.err = jb.ctx.Err()
+			jb.ended = time.Now()
+			close(jb.done)
+			j.mu.Unlock()
+			continue
+		}
+		jb.state = JobRunning
+		jb.started = time.Now()
+		run, ctx := jb.run, jb.ctx
+		j.mu.Unlock()
+
+		result, err := runJob(run, ctx)
+
+		j.mu.Lock()
+		jb.ended = time.Now()
+		switch {
+		case err == nil:
+			jb.state, jb.result = JobDone, result
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
+			jb.state, jb.err = JobCancelled, err
+		default:
+			jb.state, jb.err = JobFailed, err
+		}
+		close(jb.done)
+		j.mu.Unlock()
+		jb.cancel() // release the context's resources
+	}
+}
+
+// runJob executes one job body, converting a panic into a failed-job
+// error so a misbehaving job cannot take down the worker (and with it the
+// whole process) — the async counterpart of the HTTP middleware's recover.
+func runJob(run func(context.Context) (any, error), ctx context.Context) (result any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			result, err = nil, fmt.Errorf("service: job panicked: %v", rec)
+		}
+	}()
+	return run(ctx)
+}
+
+// JobsStats counts jobs by state.
+type JobsStats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Stats snapshots the per-state job counts over the retained window.
+func (j *Jobs) Stats() JobsStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var st JobsStats
+	for _, jb := range j.jobs {
+		switch jb.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Close cancels every job context, stops accepting submissions, and waits
+// for the workers to drain.
+func (j *Jobs) Close() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		j.wg.Wait()
+		return
+	}
+	j.closed = true
+	j.mu.Unlock()
+	j.stopAll()
+	close(j.queue)
+	j.wg.Wait()
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitTerminal blocks until the job is terminal or the test times out.
+func waitTerminal(t *testing.T, jb *Job) {
+	t.Helper()
+	select {
+	case <-jb.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s never reached a terminal state", jb.ID())
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	j := NewJobs(2, 0, 0)
+	defer j.Close()
+	jb, err := j.Submit("answer", func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jb)
+	res, err, ok := j.Result(jb)
+	if !ok || err != nil || res != 42 {
+		t.Fatalf("Result = (%v, %v, %v), want (42, nil, true)", res, err, ok)
+	}
+	st := j.Snapshot(jb)
+	if st.State != JobDone || st.Error != "" || st.Duration == "" {
+		t.Fatalf("snapshot = %+v, want done with duration", st)
+	}
+	if got, ok := j.Get(jb.ID()); !ok || got != jb {
+		t.Fatal("Get lost the job")
+	}
+}
+
+// TestJobPanicContained asserts a panicking job body is converted into a
+// failed job instead of crashing the worker (and the process); the pool
+// keeps serving afterwards.
+func TestJobPanicContained(t *testing.T) {
+	j := NewJobs(1, 0, 0)
+	defer j.Close()
+	jb, err := j.Submit("panic", func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jb)
+	st := j.Snapshot(jb)
+	if st.State != JobFailed || !strings.Contains(st.Error, "kaboom") {
+		t.Fatalf("snapshot = %+v, want failed with panic message", st)
+	}
+	// The single worker survived and still runs jobs.
+	next, err := j.Submit("after", noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, next)
+	if st := j.Snapshot(next); st.State != JobDone {
+		t.Fatalf("job after panic = %s, want done", st.State)
+	}
+}
+
+func TestJobFailed(t *testing.T) {
+	j := NewJobs(1, 0, 0)
+	defer j.Close()
+	boom := errors.New("boom")
+	jb, err := j.Submit("fail", func(ctx context.Context) (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jb)
+	if st := j.Snapshot(jb); st.State != JobFailed || st.Error != "boom" {
+		t.Fatalf("snapshot = %+v, want failed/boom", st)
+	}
+}
+
+// TestJobCancelRunning asserts Cancel unblocks a running job through its
+// context — the core of "a cancelled job stops its workers".
+func TestJobCancelRunning(t *testing.T) {
+	j := NewJobs(1, 0, 0)
+	defer j.Close()
+	running := make(chan struct{})
+	jb, err := j.Submit("block", func(ctx context.Context) (any, error) {
+		close(running)
+		<-ctx.Done() // a well-behaved long job: returns when cancelled
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if _, ok := j.Cancel(jb.ID()); !ok {
+		t.Fatal("Cancel lost the job")
+	}
+	waitTerminal(t, jb)
+	if st := j.Snapshot(jb); st.State != JobCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if _, _, ok := j.Result(jb); !ok {
+		t.Fatal("terminal job has no result record")
+	}
+}
+
+// TestJobCancelQueued cancels a job that never reached a worker.
+func TestJobCancelQueued(t *testing.T) {
+	j := NewJobs(1, 4, 0)
+	defer j.Close()
+	release := make(chan struct{})
+	blocker, err := j.Submit("blocker", func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := j.Submit("queued", func(ctx context.Context) (any, error) {
+		t.Error("cancelled queued job must not run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Cancel(queued.ID()); !ok {
+		t.Fatal("Cancel lost the queued job")
+	}
+	if st := j.Snapshot(queued); st.State != JobCancelled {
+		t.Fatalf("queued job state = %s, want cancelled immediately", st.State)
+	}
+	close(release)
+	waitTerminal(t, blocker)
+	// Give the worker a beat to (incorrectly) pick the cancelled job up;
+	// the t.Error above would fire if it ran.
+	sentinel, err := j.Submit("sentinel", func(ctx context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, sentinel)
+}
+
+func TestJobQueueFull(t *testing.T) {
+	j := NewJobs(1, 1, 0)
+	defer j.Close()
+	release := make(chan struct{})
+	defer close(release)
+	running := make(chan struct{})
+	if _, err := j.Submit("running", func(ctx context.Context) (any, error) {
+		close(running)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-running // worker busy; queue (cap 1) is empty
+	if _, err := j.Submit("queued", noop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Submit("overflow", noop); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func noop(ctx context.Context) (any, error) { return nil, nil }
+
+// TestJobsClose asserts Close cancels running jobs and rejects further
+// submissions.
+func TestJobsClose(t *testing.T) {
+	j := NewJobs(2, 0, 0)
+	running := make(chan struct{})
+	jb, err := j.Submit("hang", func(ctx context.Context) (any, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	j.Close()
+	if st := j.Snapshot(jb); st.State != JobCancelled {
+		t.Fatalf("state after Close = %s, want cancelled", st.State)
+	}
+	if _, err := j.Submit("late", noop); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestJobsRetention asserts finished jobs beyond the retention bound are
+// pruned oldest-first while live jobs survive.
+func TestJobsRetention(t *testing.T) {
+	j := NewJobs(1, 16, 3)
+	defer j.Close()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		jb, err := j.Submit(fmt.Sprintf("n%d", i), noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, jb)
+		ids = append(ids, jb.ID())
+	}
+	j.mu.Lock()
+	n := len(j.jobs)
+	j.mu.Unlock()
+	if n > 3+1 { // pruning happens on submit, so one extra may linger
+		t.Fatalf("%d jobs retained, bound 3", n)
+	}
+	if _, ok := j.Get(ids[0]); ok {
+		t.Fatal("oldest finished job survived pruning")
+	}
+	if _, ok := j.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest job was pruned")
+	}
+}

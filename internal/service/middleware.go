@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service's request counters. Snapshot-able without
+// locks; served by GET /metrics.
+type Metrics struct {
+	requests  atomic.Int64
+	inflight  atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	schedules atomic.Int64
+	sweeps    atomic.Int64
+	panics    atomic.Int64
+}
+
+// MetricsSnapshot is the JSON form of the counters plus registry/job
+// state, served by GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Requests      int64         `json:"requests"`
+	Inflight      int64         `json:"inflight"`
+	Status4xx     int64         `json:"status4xx"`
+	Status5xx     int64         `json:"status5xx"`
+	Schedules     int64         `json:"schedules"`
+	Sweeps        int64         `json:"sweeps"`
+	Panics        int64         `json:"panics"`
+	Registry      RegistryStats `json:"registry"`
+	Jobs          JobsStats     `json:"jobs"`
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// middleware wraps the API mux with panic recovery, request logging, and
+// the request counters. A panic in a handler becomes a 500 with a JSON
+// body instead of tearing down the connection state.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests.Add(1)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+			}
+			switch {
+			case sw.status >= 500:
+				s.metrics.status5xx.Add(1)
+			case sw.status >= 400:
+				s.metrics.status4xx.Add(1)
+			}
+			s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// logf logs through the configured logger; a nil logger silences the
+// service (tests, benchmarks).
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}

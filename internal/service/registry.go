@@ -1,0 +1,246 @@
+// Package service turns the repro library into a long-running SOC
+// test-scheduling service: a Planner registry that builds each SOC's
+// scheduling session at most once (singleflight) and bounds the number of
+// sessions held in memory (LRU), an asynchronous job pool for long-running
+// sweeps with cancellation, and an HTTP/JSON API (cmd/socserved) whose
+// responses are byte-identical to the library's direct Planner answers.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/soc"
+	"repro/internal/socfile"
+)
+
+// DefaultPlannerCapacity bounds the Planner LRU when Config leaves it
+// unset. Planners hold every (core, width) wrapper design and Pareto
+// staircase of their SOC, so they are the registry's memory cost; SOC
+// descriptions themselves are tiny and retained for every upload.
+const DefaultPlannerCapacity = 32
+
+// ErrUnknownSOC reports a schedule/sweep request naming a SOC that was
+// never uploaded (or whose name points at nothing).
+var ErrUnknownSOC = fmt.Errorf("service: unknown SOC")
+
+// Registry maps canonical SOC fingerprints to scheduling state. Uploaded
+// SOCs are deduplicated by socfile.Fingerprint; Planners are built lazily,
+// at most once per fingerprint at a time (concurrent requests for the same
+// fingerprint share one build), and held in an LRU bounded by capacity.
+// An evicted Planner is rebuilt on next use — the SOC description is never
+// forgotten. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int
+	socs     map[string]*soc.SOC // fingerprint → validated, registry-owned SOC
+	names    map[string]string   // SOC name → fingerprint (last upload wins)
+	planners map[string]*plannerEntry
+	lru      *list.List // of *plannerEntry; front = most recently used
+
+	builds    atomic.Int64
+	evictions atomic.Int64
+}
+
+// plannerEntry is one singleflight-guarded Planner slot.
+type plannerEntry struct {
+	fp      string
+	ready   chan struct{} // closed once the build finished
+	done    bool          // build finished (guarded by Registry.mu)
+	planner *repro.Planner
+	err     error
+	elem    *list.Element
+}
+
+// NewRegistry returns a registry bounding its Planner cache to capacity
+// (<= 0 means DefaultPlannerCapacity).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultPlannerCapacity
+	}
+	return &Registry{
+		capacity: capacity,
+		socs:     make(map[string]*soc.SOC),
+		names:    make(map[string]string),
+		planners: make(map[string]*plannerEntry),
+		lru:      list.New(),
+	}
+}
+
+// Add validates and registers a SOC, returning its canonical fingerprint.
+// The SOC is deep-copied, so the caller may keep mutating its own copy.
+// Re-adding an identical SOC is a no-op returning the same fingerprint;
+// a different SOC with the same name re-points the name at the new upload.
+// Names must survive the .soc grammar (socfile.ValidateNames) — otherwise
+// two different SOCs could collide on one fingerprint.
+func (r *Registry) Add(s *soc.SOC) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	if err := socfile.ValidateNames(s); err != nil {
+		return "", err
+	}
+	c := s.Clone()
+	fp := socfile.Fingerprint(c)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.socs[fp]; !ok {
+		r.socs[fp] = c
+	}
+	r.names[c.Name] = fp
+	return fp, nil
+}
+
+// Resolve maps a client-supplied key — a fingerprint or a SOC name — to
+// the fingerprint of a registered SOC.
+func (r *Registry) Resolve(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.socs[key]; ok {
+		return key, true
+	}
+	fp, ok := r.names[key]
+	return fp, ok
+}
+
+// SOC returns the registered SOC for a fingerprint-or-name key. The SOC is
+// shared and must be treated as read-only.
+func (r *Registry) SOC(key string) (*soc.SOC, string, error) {
+	fp, ok := r.Resolve(key)
+	if !ok {
+		return nil, "", fmt.Errorf("%w %q", ErrUnknownSOC, key)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.socs[fp], fp, nil
+}
+
+// Planner returns the Planner for a fingerprint-or-name key, building it
+// on first use. Concurrent calls for the same fingerprint wait on a single
+// build; distinct fingerprints build independently. A successful build
+// enters the LRU (possibly evicting the least-recently-used completed
+// Planner); a failed build is not cached, so the error is re-derived on
+// retry.
+func (r *Registry) Planner(key string) (*repro.Planner, error) {
+	fp, ok := r.Resolve(key)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownSOC, key)
+	}
+	r.mu.Lock()
+	if pe, ok := r.planners[fp]; ok {
+		if pe.elem != nil {
+			r.lru.MoveToFront(pe.elem)
+		}
+		r.mu.Unlock()
+		<-pe.ready
+		return pe.planner, pe.err
+	}
+	s := r.socs[fp]
+	pe := &plannerEntry{fp: fp, ready: make(chan struct{})}
+	r.planners[fp] = pe
+	pe.elem = r.lru.PushFront(pe)
+	r.evictLocked(pe)
+	r.mu.Unlock()
+
+	planner, err := repro.NewPlanner(s)
+	r.builds.Add(1)
+
+	r.mu.Lock()
+	pe.planner, pe.err, pe.done = planner, err, true
+	if err != nil {
+		r.removeLocked(pe)
+	}
+	r.mu.Unlock()
+	close(pe.ready)
+	return planner, err
+}
+
+// evictLocked trims the LRU to capacity, never evicting keep or entries
+// still building (their waiters would re-trigger concurrent builds).
+// r.mu must be held.
+func (r *Registry) evictLocked(keep *plannerEntry) {
+	for len(r.planners) > r.capacity {
+		evicted := false
+		for e := r.lru.Back(); e != nil; e = e.Prev() {
+			pe := e.Value.(*plannerEntry)
+			if pe == keep || !pe.done {
+				continue
+			}
+			r.removeLocked(pe)
+			r.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything else is mid-build; exceed capacity briefly
+		}
+	}
+}
+
+// removeLocked drops an entry from the planner map and LRU. r.mu must be
+// held. In-flight waiters keep their direct entry pointer and are
+// unaffected; the Planner simply stops being cached.
+func (r *Registry) removeLocked(pe *plannerEntry) {
+	delete(r.planners, pe.fp)
+	if pe.elem != nil {
+		r.lru.Remove(pe.elem)
+		pe.elem = nil
+	}
+}
+
+// SOCInfo summarizes one registered SOC for listings.
+type SOCInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Name        string `json:"name"`
+	Cores       int    `json:"cores"`
+	// Planner reports whether a built Planner is currently cached.
+	Planner bool `json:"planner"`
+}
+
+// List returns every registered SOC, sorted by name then fingerprint.
+func (r *Registry) List() []SOCInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SOCInfo, 0, len(r.socs))
+	for fp, s := range r.socs {
+		pe, ok := r.planners[fp]
+		out = append(out, SOCInfo{
+			Fingerprint: fp,
+			Name:        s.Name,
+			Cores:       len(s.Cores),
+			Planner:     ok && pe.done && pe.err == nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// RegistryStats is a point-in-time registry counter snapshot.
+type RegistryStats struct {
+	SOCs      int   `json:"socs"`
+	Planners  int   `json:"planners"`
+	Builds    int64 `json:"plannerBuilds"`
+	Evictions int64 `json:"plannerEvictions"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	socs, planners := len(r.socs), len(r.planners)
+	r.mu.Unlock()
+	return RegistryStats{
+		SOCs:      socs,
+		Planners:  planners,
+		Builds:    r.builds.Load(),
+		Evictions: r.evictions.Load(),
+	}
+}

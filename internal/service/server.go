@@ -1,0 +1,487 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/socfile"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// PlannerCapacity bounds the Planner LRU (<= 0: DefaultPlannerCapacity).
+	PlannerCapacity int
+	// JobWorkers is the async worker pool size (<= 0: 1).
+	JobWorkers int
+	// JobQueue bounds the pending-job queue (<= 0: DefaultJobQueue).
+	JobQueue int
+	// JobRetained bounds retained finished jobs (<= 0: DefaultJobRetained).
+	JobRetained int
+	// Preload names built-in benchmark SOCs to register at startup; the
+	// single entry "all" expands to every built-in.
+	Preload []string
+	// Logger receives request and panic logs; nil silences the server.
+	Logger *log.Logger
+}
+
+// Server is the SOC test-scheduling service: a Planner registry, an async
+// job pool, and the HTTP/JSON API wired together. Create it with New,
+// mount Handler on an http.Server, and Close it on shutdown.
+type Server struct {
+	reg     *Registry
+	jobs    *Jobs
+	metrics Metrics
+	log     *log.Logger
+	handler http.Handler
+	start   time.Time
+}
+
+// builtinNames are the Preload "all" expansion.
+var builtinNames = []string{"d695", "p22810like", "p34392like", "p93791like", "demo8"}
+
+// New builds a Server and registers any preloaded SOCs.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		reg:   NewRegistry(cfg.PlannerCapacity),
+		jobs:  NewJobs(cfg.JobWorkers, cfg.JobQueue, cfg.JobRetained),
+		log:   cfg.Logger,
+		start: time.Now(),
+	}
+	names := cfg.Preload
+	if len(names) == 1 && names[0] == "all" {
+		names = builtinNames
+	}
+	for _, name := range names {
+		soc, err := bench.ByName(name)
+		if err != nil {
+			s.jobs.Close()
+			return nil, err
+		}
+		if _, err := s.reg.Add(soc); err != nil {
+			s.jobs.Close()
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/socs", s.handleSOCList)
+	mux.HandleFunc("POST /v1/socs", s.handleSOCAdd)
+	mux.HandleFunc("GET /v1/socs/{key}", s.handleSOCGet)
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { s.handleSchedule(w, r, false) })
+	mux.HandleFunc("POST /v1/schedule/best", func(w http.ResponseWriter, r *http.Request) { s.handleSchedule(w, r, true) })
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/effective", s.handleEffective)
+	mux.HandleFunc("POST /v1/gantt", s.handleGantt)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handler = s.middleware(mux)
+	return s, nil
+}
+
+// Handler returns the service's root http.Handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the Planner registry (metrics, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the async job pool (metrics, tests).
+func (s *Server) Jobs() *Jobs { return s.jobs }
+
+// Close cancels all running jobs and drains the worker pool.
+func (s *Server) Close() { s.jobs.Close() }
+
+// ---- request/response shapes ----
+
+// ParamsJSON mirrors repro.Options (sched.Params) on the wire. Zero-valued
+// fields take the library defaults, exactly as in the Go API.
+type ParamsJSON struct {
+	TAMWidth        int         `json:"tamWidth"`
+	MaxWidth        int         `json:"maxWidth,omitempty"`
+	Percent         int         `json:"percent,omitempty"`
+	Delta           int         `json:"delta,omitempty"`
+	PowerMax        int         `json:"powerMax,omitempty"`
+	InsertSlack     int         `json:"insertSlack,omitempty"`
+	MaxPreemptions  map[int]int `json:"maxPreemptions,omitempty"`
+	DisableWidening bool        `json:"disableWidening,omitempty"`
+	IgnoreHierarchy bool        `json:"ignoreHierarchy,omitempty"`
+	Workers         int         `json:"workers,omitempty"`
+}
+
+// Options converts the wire params to library options.
+func (p ParamsJSON) Options() repro.Options {
+	return repro.Options{
+		TAMWidth:        p.TAMWidth,
+		MaxWidth:        p.MaxWidth,
+		Percent:         p.Percent,
+		Delta:           p.Delta,
+		PowerMax:        p.PowerMax,
+		InsertSlack:     p.InsertSlack,
+		MaxPreemptions:  p.MaxPreemptions,
+		DisableWidening: p.DisableWidening,
+		IgnoreHierarchy: p.IgnoreHierarchy,
+		Workers:         p.Workers,
+	}
+}
+
+type scheduleRequest struct {
+	// SOC is a fingerprint or a registered SOC name.
+	SOC    string     `json:"soc"`
+	Params ParamsJSON `json:"params"`
+}
+
+type ganttRequest struct {
+	SOC    string     `json:"soc"`
+	Params ParamsJSON `json:"params"`
+	// Best renders the grid-swept best schedule instead of a single run.
+	// (/v1/schedule has no such field — the route picks the mode there.)
+	Best bool `json:"best,omitempty"`
+}
+
+type sweepRequest struct {
+	SOC      string `json:"soc"`
+	WidthLo  int    `json:"widthLo,omitempty"`
+	WidthHi  int    `json:"widthHi,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// Wait runs the sweep synchronously on the request instead of
+	// submitting an async job.
+	Wait bool `json:"wait,omitempty"`
+}
+
+type effectiveRequest struct {
+	SOC     string `json:"soc"`
+	WidthLo int    `json:"widthLo,omitempty"`
+	WidthHi int    `json:"widthHi,omitempty"`
+	// Gamma is the time/volume trade-off weight γ in [0,1]; omitted means
+	// 0.5 (equal weight).
+	Gamma   *float64 `json:"gamma,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": "socserved",
+		"endpoints": []string{
+			"GET  /healthz",
+			"GET  /metrics",
+			"GET  /v1/socs",
+			"POST /v1/socs                (.soc text or JSON body)",
+			"GET  /v1/socs/{key}",
+			"POST /v1/schedule            {soc, params}",
+			"POST /v1/schedule/best       {soc, params}",
+			"POST /v1/sweep               {soc, widthLo, widthHi, workers, wait}",
+			"POST /v1/effective           {soc, widthLo, widthHi, gamma, workers}",
+			"POST /v1/gantt               {soc, params, best}",
+			"GET  /v1/jobs/{id}",
+			"GET  /v1/jobs/{id}/result",
+			"POST /v1/jobs/{id}/cancel",
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.metrics.requests.Load(),
+		Inflight:      s.metrics.inflight.Load(),
+		Status4xx:     s.metrics.status4xx.Load(),
+		Status5xx:     s.metrics.status5xx.Load(),
+		Schedules:     s.metrics.schedules.Load(),
+		Sweeps:        s.metrics.sweeps.Load(),
+		Panics:        s.metrics.panics.Load(),
+		Registry:      s.reg.Stats(),
+		Jobs:          s.jobs.Stats(),
+	})
+}
+
+func (s *Server) handleSOCList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"socs": s.reg.List()})
+}
+
+// handleSOCAdd accepts a .soc text body or (Content-Type: application/json)
+// the SOCJSON wire form, registers the SOC, and returns its fingerprint.
+func (s *Server) handleSOCAdd(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	var parsed *repro.SOC
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		var sj SOCJSON
+		if err := json.NewDecoder(body).Decode(&sj); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON SOC: %w", err))
+			return
+		}
+		soc, err := DecodeSOC(&sj)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		parsed = soc
+	} else {
+		soc, err := socfile.Parse(body)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		parsed = soc
+	}
+	fp, err := s.reg.Add(parsed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"fingerprint": fp,
+		"name":        parsed.Name,
+		"cores":       len(parsed.Cores),
+	})
+}
+
+func (s *Server) handleSOCGet(w http.ResponseWriter, r *http.Request) {
+	soc, fp, err := s.reg.SOC(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "soc": EncodeSOC(soc)})
+}
+
+// handleSchedule answers POST /v1/schedule and /v1/schedule/best. The body
+// is exactly what schedio.Save emits for the Planner's answer, so service
+// responses and library results are interchangeable byte-for-byte.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best bool) {
+	var req scheduleRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	planner, ok := s.plannerFor(w, req.SOC)
+	if !ok {
+		return
+	}
+	sch, err := s.runSchedule(r, planner, req.Params.Options(), best)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.schedules.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if err := repro.SaveSchedule(w, sch); err != nil {
+		s.logf("write schedule: %v", err)
+	}
+}
+
+func (s *Server) runSchedule(r *http.Request, planner *repro.Planner, opts repro.Options, best bool) (*repro.TestSchedule, error) {
+	if best {
+		return planner.ScheduleBestContext(r.Context(), opts)
+	}
+	return planner.Schedule(opts)
+}
+
+// handleSweep answers POST /v1/sweep: synchronously under the request
+// context when wait is set, otherwise as an async job whose result is
+// served by /v1/jobs/{id}/result with the same bytes as the synchronous
+// answer.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	fp, ok := s.reg.Resolve(req.SOC)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownSOC, req.SOC))
+		return
+	}
+	if req.Wait {
+		planner, ok := s.plannerFor(w, fp)
+		if !ok {
+			return
+		}
+		sw, err := planner.SweepWidthsContext(r.Context(), req.WidthLo, req.WidthHi, req.Workers)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.metrics.sweeps.Add(1)
+		writeJSON(w, http.StatusOK, sw)
+		return
+	}
+	job, err := s.jobs.Submit("sweep "+req.SOC, func(ctx context.Context) (any, error) {
+		planner, err := s.reg.Planner(fp)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.sweeps.Add(1)
+		return sw, nil
+	})
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusGone
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job":       s.jobs.Snapshot(job),
+		"statusUrl": "/v1/jobs/" + job.ID(),
+		"resultUrl": "/v1/jobs/" + job.ID() + "/result",
+		"cancelUrl": "/v1/jobs/" + job.ID() + "/cancel",
+	})
+}
+
+// handleEffective runs a width sweep and picks the effective TAM width
+// minimizing C(γ, W) — the paper's Problem 3 in one request.
+func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
+	var req effectiveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	planner, ok := s.plannerFor(w, req.SOC)
+	if !ok {
+		return
+	}
+	sw, err := planner.SweepWidthsContext(r.Context(), req.WidthLo, req.WidthHi, req.Workers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.sweeps.Add(1)
+	gamma := 0.5
+	if req.Gamma != nil {
+		gamma = *req.Gamma
+	}
+	eff, err := repro.PickEffectiveWidth(sw, gamma)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eff)
+}
+
+// handleGantt schedules and renders the packed bin as SVG.
+func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
+	var req ganttRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	planner, ok := s.plannerFor(w, req.SOC)
+	if !ok {
+		return
+	}
+	sch, err := s.runSchedule(r, planner, req.Params.Options(), req.Best)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.schedules.Add(1)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := repro.GanttSVG(w, sch); err != nil {
+		s.logf("write gantt: %v", err)
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.Snapshot(job))
+}
+
+// handleJobResult serves a finished job's result document — for a sweep
+// job, the same bytes as the synchronous /v1/sweep answer.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	result, err, done := s.jobs.Result(job)
+	switch {
+	case !done:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", job.ID(), s.jobs.Snapshot(job).State))
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("job %s %s: %w", job.ID(), s.jobs.Snapshot(job).State, err))
+	default:
+		writeJSON(w, http.StatusOK, result)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.Snapshot(job))
+}
+
+// plannerFor resolves a SOC key to its Planner, writing the HTTP error on
+// failure.
+func (s *Server) plannerFor(w http.ResponseWriter, key string) (*repro.Planner, bool) {
+	planner, err := s.reg.Planner(key)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownSOC) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return nil, false
+	}
+	return planner, true
+}
+
+// ---- encoding helpers ----
+
+// decodeBody decodes a JSON request body, writing a 400 on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	// Trailing garbage after the JSON document is a malformed request.
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v as indented JSON (two spaces, trailing newline — the
+// same encoding schedio and the library tools use, so responses are
+// byte-comparable with direct library output).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

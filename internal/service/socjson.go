@@ -1,0 +1,113 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/soc"
+)
+
+// SOCJSON is the JSON wire form of an SOC test description, the
+// application/json alternative to the .soc text grammar accepted by
+// POST /v1/socs. It round-trips losslessly with the soc data model.
+type SOCJSON struct {
+	Name     string     `json:"name"`
+	PowerMax int        `json:"powerMax,omitempty"`
+	Cores    []CoreJSON `json:"cores"`
+	// Precedences lists [before, after] core-ID pairs.
+	Precedences [][2]int `json:"precedences,omitempty"`
+	// Concurrencies lists [a, b] core-ID pairs that must never overlap.
+	Concurrencies [][2]int `json:"concurrencies,omitempty"`
+}
+
+// CoreJSON is one embedded core in the JSON wire form.
+type CoreJSON struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name"`
+	Parent     int    `json:"parent,omitempty"`
+	Inputs     int    `json:"inputs,omitempty"`
+	Outputs    int    `json:"outputs,omitempty"`
+	Bidirs     int    `json:"bidirs,omitempty"`
+	ScanChains []int  `json:"scanChains,omitempty"`
+	Patterns   int    `json:"patterns"`
+	// Kind is "scan" (default) or "bist".
+	Kind string `json:"kind,omitempty"`
+	// Engine is the BIST engine ID; nil means none.
+	Engine *int `json:"engine,omitempty"`
+	Power  int  `json:"power,omitempty"`
+}
+
+// EncodeSOC converts an SOC into its JSON wire form.
+func EncodeSOC(s *soc.SOC) *SOCJSON {
+	out := &SOCJSON{Name: s.Name, PowerMax: s.PowerMax}
+	for _, c := range s.Cores {
+		cj := CoreJSON{
+			ID:         c.ID,
+			Name:       c.Name,
+			Parent:     c.Parent,
+			Inputs:     c.Inputs,
+			Outputs:    c.Outputs,
+			Bidirs:     c.Bidirs,
+			ScanChains: append([]int(nil), c.ScanChains...),
+			Patterns:   c.Test.Patterns,
+			Power:      c.Test.Power,
+		}
+		if c.Test.Kind == soc.BISTTest {
+			cj.Kind = "bist"
+		}
+		if c.Test.BISTEngine >= 0 {
+			e := c.Test.BISTEngine
+			cj.Engine = &e
+		}
+		out.Cores = append(out.Cores, cj)
+	}
+	for _, p := range s.Precedences {
+		out.Precedences = append(out.Precedences, [2]int{p.Before, p.After})
+	}
+	for _, c := range s.Concurrencies {
+		out.Concurrencies = append(out.Concurrencies, [2]int{c.A, c.B})
+	}
+	return out
+}
+
+// DecodeSOC converts the JSON wire form back into a validated SOC.
+func DecodeSOC(sj *SOCJSON) (*soc.SOC, error) {
+	s := &soc.SOC{Name: sj.Name, PowerMax: sj.PowerMax}
+	for _, cj := range sj.Cores {
+		c := &soc.Core{
+			ID:         cj.ID,
+			Name:       cj.Name,
+			Parent:     cj.Parent,
+			Inputs:     cj.Inputs,
+			Outputs:    cj.Outputs,
+			Bidirs:     cj.Bidirs,
+			ScanChains: append([]int(nil), cj.ScanChains...),
+			Test: soc.Test{
+				Patterns:   cj.Patterns,
+				BISTEngine: -1,
+				Power:      cj.Power,
+			},
+		}
+		switch cj.Kind {
+		case "", "scan":
+			c.Test.Kind = soc.ScanTest
+		case "bist":
+			c.Test.Kind = soc.BISTTest
+		default:
+			return nil, fmt.Errorf("service: core %d: kind %q (want scan|bist)", cj.ID, cj.Kind)
+		}
+		if cj.Engine != nil {
+			c.Test.BISTEngine = *cj.Engine
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	for _, p := range sj.Precedences {
+		s.Precedences = append(s.Precedences, soc.Precedence{Before: p[0], After: p[1]})
+	}
+	for _, c := range sj.Concurrencies {
+		s.Concurrencies = append(s.Concurrencies, soc.Concurrency{A: c[0], B: c[1]})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package socfile_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/socfile"
+)
+
+// benchSOCTexts serializes every built-in benchmark SOC — the fuzz seed
+// corpus and the round-trip property-test inputs.
+func benchSOCTexts(t testing.TB) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, name := range []string{"d695", "p22810like", "p34392like", "p93791like", "demo8"} {
+		s, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := socfile.Write(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.String()
+	}
+	return out
+}
+
+// TestParseWriteParseRoundTrip is the property test behind the grammar's
+// contract ("Write and Parse round-trip"): for every benchmark SOC,
+// Parse(Write(s)) == s and the re-serialization is byte-stable.
+func TestParseWriteParseRoundTrip(t *testing.T) {
+	for name, text := range benchSOCTexts(t) {
+		s1, err := socfile.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		want, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, want) {
+			t.Fatalf("%s: Parse(Write(s)) != s", name)
+		}
+		var buf bytes.Buffer
+		if err := socfile.Write(&buf, s1); err != nil {
+			t.Fatalf("%s: re-write: %v", name, err)
+		}
+		if buf.String() != text {
+			t.Fatalf("%s: Write(Parse(text)) is not byte-stable", name)
+		}
+	}
+}
+
+// FuzzParse feeds arbitrary bytes to the parser. For inputs the parser
+// accepts, the full round-trip property must hold: Write(s) re-parses to
+// a deeply equal SOC, and the second Write is byte-identical to the first
+// (serialization is a fixed point). The parser must never panic and never
+// return a SOC that fails validation.
+func FuzzParse(f *testing.F) {
+	for _, text := range benchSOCTexts(f) {
+		f.Add(text)
+	}
+	f.Add("SocName tiny\nTotalCores 1\nCore 1 c\n Inputs 1 Outputs 1 Bidirs 0\n Test Patterns 3\n")
+	f.Add("SocName x\nCore 1 a\n ScanChains 2 : 5 7\n Test Patterns 2 Kind bist Engine 0 Power 9\nPrecedence 1 1\n")
+	f.Add("# comment only\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := socfile.Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a SOC that fails Validate: %v", err)
+		}
+		var first bytes.Buffer
+		if err := socfile.Write(&first, s); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		s2, err := socfile.Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written form failed: %v\nwritten:\n%s", err, first.String())
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round-trip changed the SOC\noriginal input:\n%s\nwritten:\n%s", input, first.String())
+		}
+		var second bytes.Buffer
+		if err := socfile.Write(&second, s2); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("Write is not a fixed point after one round-trip")
+		}
+		if socfile.Fingerprint(s) != socfile.Fingerprint(s2) {
+			t.Fatal("round-trip changed the fingerprint")
+		}
+	})
+}

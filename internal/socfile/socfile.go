@@ -18,6 +18,8 @@ package socfile
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -345,6 +347,65 @@ func Write(w io.Writer, s *soc.SOC) error {
 		fmt.Fprintf(bw, "Concurrency %d %d\n", cc.A, cc.B)
 	}
 	return bw.Flush()
+}
+
+// ValidateNames rejects SOC and core names that cannot be represented in
+// the .soc grammar: names containing whitespace or '#' would change the
+// line structure when written, so two semantically different SOCs could
+// serialize — and therefore Fingerprint — identically. Parse can never
+// produce such names (tokens are whitespace-split, comments stripped),
+// but SOCs built programmatically or decoded from JSON can; anything that
+// uses Write output as a canonical form (Fingerprint keys, re-parseable
+// uploads) must check this first.
+func ValidateNames(s *soc.SOC) error {
+	check := func(kind, name string) error {
+		if strings.ContainsAny(name, " \t\n\v\f\r#") {
+			return fmt.Errorf("socfile: %s name %q contains whitespace or '#' and cannot round-trip the .soc grammar", kind, name)
+		}
+		return nil
+	}
+	if err := check("SOC", s.Name); err != nil {
+		return err
+	}
+	for _, c := range s.Cores {
+		if err := check(fmt.Sprintf("core %d", c.ID), c.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a canonical content fingerprint of the SOC: the
+// hex SHA-256 of its serialized description after normalization. Two SOCs
+// that differ only in the listed order of their constraints — or in the
+// orientation of a (symmetric) concurrency pair — fingerprint identically;
+// any semantic difference (a pattern count, a scan-chain length, a name)
+// changes the fingerprint. Write already emits cores in ID order, so core
+// order never contributes. The fingerprint is only injective over SOCs
+// whose names satisfy ValidateNames; callers keying caches by fingerprint
+// must validate names first.
+func Fingerprint(s *soc.SOC) string {
+	c := s.Clone()
+	for i, cc := range c.Concurrencies {
+		if cc.A > cc.B {
+			c.Concurrencies[i] = soc.Concurrency{A: cc.B, B: cc.A}
+		}
+	}
+	sort.Slice(c.Precedences, func(i, j int) bool {
+		if c.Precedences[i].Before != c.Precedences[j].Before {
+			return c.Precedences[i].Before < c.Precedences[j].Before
+		}
+		return c.Precedences[i].After < c.Precedences[j].After
+	})
+	sort.Slice(c.Concurrencies, func(i, j int) bool {
+		if c.Concurrencies[i].A != c.Concurrencies[j].A {
+			return c.Concurrencies[i].A < c.Concurrencies[j].A
+		}
+		return c.Concurrencies[i].B < c.Concurrencies[j].B
+	})
+	h := sha256.New()
+	_ = Write(h, c) // hash.Hash writes never fail
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // WriteFile serializes the SOC to the named file.
