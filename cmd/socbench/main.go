@@ -47,6 +47,9 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		benchjson = flag.String("benchjson", "", "time the representative workloads and write JSON to this path (\"-\" = stdout); see BENCH_2.json")
 		benchnote = flag.String("benchnote", "", "free-form note embedded in the -benchjson output (e.g. the baseline being compared against)")
+		benchcmp  = flag.String("benchcmp", "", "baseline benchjson file to gate against; compares -benchnew (or the file just written by -benchjson) and exits 1 on regression")
+		benchnew  = flag.String("benchnew", "", "current benchjson file for -benchcmp (default: the -benchjson path)")
+		benchmax  = flag.Float64("benchmaxpct", 25, "max tolerated ns/op regression percent for the -benchcmp gate")
 	)
 	flag.Parse()
 
@@ -59,6 +62,17 @@ func main() {
 	if *benchjson != "" {
 		ran = true
 		runBenchJSON(*benchjson, *benchnote)
+	}
+	if *benchcmp != "" {
+		ran = true
+		cur := *benchnew
+		if cur == "" {
+			cur = *benchjson
+		}
+		if cur == "" || cur == "-" {
+			fatal(fmt.Errorf("-benchcmp needs -benchnew (or a file-backed -benchjson) to compare against"))
+		}
+		runBenchCmp(*benchcmp, cur, *benchmax)
 	}
 	if *all || *table == "1" {
 		ran = true

@@ -7,17 +7,20 @@
 //	socgen -soc d695 -o d695.soc          # dump a built-in benchmark
 //	socgen -all -dir ./socs               # dump all benchmarks
 //	socgen -random -cores 24 -seed 7      # generate a random SOC
+//	socgen -random -cores 40 -profile longchain -hier 30 -power 120
+//
+// Random generation is deterministic: the same flags always produce the
+// same bytes (the generator is bench.Synth, shared with the regression
+// corpus in internal/corpus).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 
 	"repro/internal/bench"
-	"repro/internal/soc"
 	"repro/internal/socfile"
 )
 
@@ -30,6 +33,13 @@ func main() {
 		random  = flag.Bool("random", false, "generate a random synthetic SOC instead")
 		cores   = flag.Int("cores", 16, "core count for -random")
 		seed    = flag.Int64("seed", 1, "random seed for -random")
+		name    = flag.String("name", "", "SOC name for -random (default rand<cores>)")
+		profile = flag.String("profile", "mixed", "core mix for -random: mixed, combo, longchain")
+		engines = flag.Int("bistengines", 2, "distinct BIST engines for -random (1 = maximum conflict, -1 = no BIST)")
+		hier    = flag.Int("hier", 0, "percent chance each core is nested under a lower-ID parent")
+		power   = flag.Int("power", 0, "SOC power budget as percent of the largest single-test power (0 = unconstrained)")
+		prec    = flag.Int("prec", 0, "extra random precedence edges")
+		conc    = flag.Int("conc", 0, "extra random concurrency (mutual-exclusion) pairs")
 	)
 	flag.Parse()
 
@@ -43,7 +53,17 @@ func main() {
 			fmt.Println("wrote", path)
 		}
 	case *random:
-		s := randomSOC(*cores, *seed)
+		s := bench.Synth(bench.SynthConfig{
+			Name:               *name,
+			Cores:              *cores,
+			Seed:               *seed,
+			Profile:            *profile,
+			BISTEngines:        *engines,
+			HierarchyPct:       *hier,
+			PowerBudgetPct:     *power,
+			ExtraPrecedences:   *prec,
+			ExtraConcurrencies: *conc,
+		})
 		path := *out
 		if path == "" {
 			path = s.Name + ".soc"
@@ -69,64 +89,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
-
-// randomSOC generates a plausible synthetic SOC: a mix of combinational
-// glue, small and large scan cores, and a couple of BIST memories.
-func randomSOC(n int, seed int64) *soc.SOC {
-	rng := rand.New(rand.NewSource(seed))
-	s := &soc.SOC{Name: fmt.Sprintf("rand%d", n)}
-	for id := 1; id <= n; id++ {
-		c := &soc.Core{
-			ID:   id,
-			Name: fmt.Sprintf("core%d", id),
-			Test: soc.Test{BISTEngine: -1},
-		}
-		switch k := rng.Intn(10); {
-		case k < 2: // combinational glue
-			c.Inputs = 20 + rng.Intn(120)
-			c.Outputs = 10 + rng.Intn(80)
-			c.Test.Patterns = 30 + rng.Intn(300)
-		case k < 4: // BIST memory
-			c.Inputs = 8 + rng.Intn(20)
-			c.Outputs = 4 + rng.Intn(16)
-			nc := 1 + rng.Intn(4)
-			for j := 0; j < nc; j++ {
-				c.ScanChains = append(c.ScanChains, 80+rng.Intn(200))
-			}
-			c.Test.Patterns = 100 + rng.Intn(300)
-			c.Test.Kind = soc.BISTTest
-			c.Test.BISTEngine = rng.Intn(2)
-		case k < 8: // small-to-medium scan core
-			c.Inputs = 15 + rng.Intn(60)
-			c.Outputs = 10 + rng.Intn(50)
-			nc := 2 + rng.Intn(10)
-			for j := 0; j < nc; j++ {
-				c.ScanChains = append(c.ScanChains, 30+rng.Intn(150))
-			}
-			c.Test.Patterns = 50 + rng.Intn(250)
-		default: // large scan core
-			c.Inputs = 30 + rng.Intn(80)
-			c.Outputs = 25 + rng.Intn(70)
-			nc := 12 + rng.Intn(28)
-			l := 90 + rng.Intn(140)
-			for j := 0; j < nc; j++ {
-				c.ScanChains = append(c.ScanChains, l+rng.Intn(8))
-			}
-			c.Test.Patterns = 120 + rng.Intn(320)
-		}
-		s.Cores = append(s.Cores, c)
-	}
-	// A couple of precedence edges: memories (BIST) before the last core.
-	for _, c := range s.Cores {
-		if c.Test.Kind == soc.BISTTest && c.ID != n {
-			s.Precedences = append(s.Precedences, soc.Precedence{Before: c.ID, After: n})
-		}
-	}
-	if err := s.Validate(); err != nil {
-		panic(err) // generator invariant
-	}
-	return s
 }
 
 func fatal(err error) {

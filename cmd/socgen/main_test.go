@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/socfile"
+)
+
+// socBytes serializes a generated SOC the way socgen writes it to disk.
+func socBytes(t *testing.T, cfg bench.SynthConfig) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := socfile.Write(&buf, bench.Synth(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRandomDeterministic pins the -random contract: the same seed and
+// knobs always produce byte-identical .soc output, and different seeds
+// diverge.
+func TestRandomDeterministic(t *testing.T) {
+	configs := []bench.SynthConfig{
+		{Cores: 16, Seed: 7},
+		{Cores: 4, Seed: 3},
+		{Cores: 24, Seed: 11, Profile: "longchain", HierarchyPct: 40},
+		{Cores: 20, Seed: 5, Profile: "combo", PowerBudgetPct: 120, ExtraPrecedences: 4, ExtraConcurrencies: 4},
+		{Cores: 18, Seed: 9, BISTEngines: 1, PowerValues: true},
+	}
+	for _, cfg := range configs {
+		a, b := socBytes(t, cfg), socBytes(t, cfg)
+		if !bytes.Equal(a, b) {
+			t.Errorf("config %+v: two generations differ", cfg)
+		}
+	}
+	if bytes.Equal(socBytes(t, bench.SynthConfig{Cores: 16, Seed: 7}),
+		socBytes(t, bench.SynthConfig{Cores: 16, Seed: 8})) {
+		t.Error("seeds 7 and 8 generated identical SOCs")
+	}
+}
+
+// TestRandomRoundTrips checks that generated output re-parses to the same
+// bytes through the socfile grammar.
+func TestRandomRoundTrips(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		raw := socBytes(t, bench.SynthConfig{Cores: 12, Seed: seed, HierarchyPct: 25, ExtraConcurrencies: 3})
+		s, err := socfile.Parse(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("seed %d: generated SOC does not re-parse: %v", seed, err)
+		}
+		var again bytes.Buffer
+		if err := socfile.Write(&again, s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, again.Bytes()) {
+			t.Errorf("seed %d: parse/write round trip changed the bytes", seed)
+		}
+	}
+}
+
+// TestRandomSchedules checks that generated SOCs, across every profile and
+// constraint knob, schedule without error.
+func TestRandomSchedules(t *testing.T) {
+	configs := []bench.SynthConfig{
+		{Cores: 4, Seed: 2},
+		{Cores: 16, Seed: 7, Profile: "combo"},
+		{Cores: 8, Seed: 4, Profile: "longchain"},
+		{Cores: 12, Seed: 6, BISTEngines: 1, HierarchyPct: 30, ExtraPrecedences: 3, ExtraConcurrencies: 3},
+		{Cores: 10, Seed: 8, PowerValues: true, PowerBudgetPct: 110},
+	}
+	for _, cfg := range configs {
+		s := bench.Synth(cfg)
+		sch, err := sched.Run(s, sched.Params{TAMWidth: 16})
+		if err != nil {
+			t.Errorf("config %+v: schedule failed: %v", cfg, err)
+			continue
+		}
+		if err := sched.Verify(s, sch); err != nil {
+			t.Errorf("config %+v: schedule fails verification: %v", cfg, err)
+		}
+	}
+}

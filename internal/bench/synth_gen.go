@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/soc"
+)
+
+// SynthConfig tunes Synth, the seeded synthetic-SOC generator behind
+// `socgen -random` and the regression corpus (package corpus). Every knob
+// is deterministic: the same config always yields byte-identical SOCs.
+//
+// The zero value of every optional knob reproduces the classic generator
+// (a mix of combinational glue, small and large scan cores, and a couple
+// of BIST memories on two engines), so `socgen -random -cores N -seed S`
+// keeps emitting exactly the bytes it always has.
+type SynthConfig struct {
+	// Name labels the SOC; empty means "rand<Cores>".
+	Name string
+	// Cores is the core count (default 16).
+	Cores int
+	// Seed seeds the generator and is used verbatim — every seed,
+	// including 0, names a distinct deterministic SOC (the socgen flag
+	// defaults to 1).
+	Seed int64
+	// Profile selects the core-size mix:
+	//
+	//	"mixed"     (default) glue + BIST memories + small and large scan
+	//	"combo"     combinational-heavy: mostly glue, no BIST
+	//	"longchain" few-but-deep scan chains (bottleneck-dominated SOCs)
+	Profile string
+	// BISTEngines is the number of distinct on-chip BIST engines that
+	// generated BIST memories draw from: 0 means the classic two engines,
+	// 1 funnels every memory onto one engine (maximum resource conflict),
+	// and a negative value disables BIST cores entirely (memories become
+	// plain scan cores).
+	BISTEngines int
+	// HierarchyPct gives each core (except core 1) that percent chance of
+	// being parented under a lower-ID core, producing implicit parent/child
+	// concurrency constraints. 0 keeps the SOC flat.
+	HierarchyPct int
+	// PowerValues assigns an explicit random power figure to every test
+	// instead of the data-bits-per-pattern default.
+	PowerValues bool
+	// PowerBudgetPct, when > 0, sets the SOC's PowerMax to that percent of
+	// the largest single-test power (>= 100 keeps every test schedulable;
+	// values near 100 force near-serial schedules).
+	PowerBudgetPct int
+	// ExtraPrecedences adds that many random precedence edges on top of
+	// the classic "memories before the last core" rule. Edges always point
+	// from a lower core ID to a higher one, so the order stays acyclic.
+	ExtraPrecedences int
+	// ExtraConcurrencies adds that many random mutual-exclusion pairs.
+	ExtraConcurrencies int
+}
+
+func (cfg SynthConfig) defaults() SynthConfig {
+	if cfg.Cores == 0 {
+		cfg.Cores = 16
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = "mixed"
+	}
+	if cfg.BISTEngines == 0 {
+		cfg.BISTEngines = 2
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("rand%d", cfg.Cores)
+	}
+	return cfg
+}
+
+// Synth generates a plausible synthetic SOC from the config. The generator
+// is pure: the same SynthConfig always returns an identical, validated SOC.
+// It panics on an invalid config (non-positive core count, unknown profile)
+// and on any generator invariant violation — both are programmer errors.
+func Synth(cfg SynthConfig) *soc.SOC {
+	cfg = cfg.defaults()
+	if cfg.Cores < 1 {
+		panic(fmt.Sprintf("bench: Synth core count %d < 1", cfg.Cores))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &soc.SOC{Name: cfg.Name}
+	for id := 1; id <= cfg.Cores; id++ {
+		s.Cores = append(s.Cores, synthCore(cfg, rng, id))
+	}
+	// Classic precedence rule: memories (BIST) finish before the last core
+	// begins — the paper's "memories tested earlier" motivation.
+	for _, c := range s.Cores {
+		if c.Test.Kind == soc.BISTTest && c.ID != cfg.Cores {
+			s.Precedences = append(s.Precedences, soc.Precedence{Before: c.ID, After: cfg.Cores})
+		}
+	}
+	// Every knob below draws from the rng only when enabled, so the default
+	// config consumes exactly the classic draw sequence.
+	if cfg.HierarchyPct > 0 && cfg.Cores > 1 {
+		for _, c := range s.Cores[1:] {
+			if rng.Intn(100) < cfg.HierarchyPct {
+				c.Parent = 1 + rng.Intn(c.ID-1)
+			}
+		}
+	}
+	if cfg.PowerValues {
+		for _, c := range s.Cores {
+			c.Test.Power = 50 + rng.Intn(950)
+		}
+	}
+	if cfg.PowerBudgetPct > 0 {
+		max := 0
+		for _, c := range s.Cores {
+			if p := c.TestPower(); p > max {
+				max = p
+			}
+		}
+		s.PowerMax = (max*cfg.PowerBudgetPct + 99) / 100
+	}
+	for i := 0; i < cfg.ExtraPrecedences && cfg.Cores > 1; i++ {
+		before := 1 + rng.Intn(cfg.Cores-1)
+		after := before + 1 + rng.Intn(cfg.Cores-before)
+		s.Precedences = append(s.Precedences, soc.Precedence{Before: before, After: after})
+	}
+	for i := 0; i < cfg.ExtraConcurrencies && cfg.Cores > 1; i++ {
+		a := 1 + rng.Intn(cfg.Cores)
+		b := 1 + rng.Intn(cfg.Cores)
+		if a == b {
+			b = a%cfg.Cores + 1
+		}
+		s.Concurrencies = append(s.Concurrencies, soc.Concurrency{A: a, B: b})
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: Synth invariant: %v", err)) // generator bug
+	}
+	return s
+}
+
+// synthCore draws one core. The "mixed" branch is the classic generator
+// verbatim (same rng call sequence), so default configs stay byte-stable.
+func synthCore(cfg SynthConfig, rng *rand.Rand, id int) *soc.Core {
+	c := &soc.Core{
+		ID:   id,
+		Name: fmt.Sprintf("core%d", id),
+		Test: soc.Test{BISTEngine: -1},
+	}
+	switch cfg.Profile {
+	case "mixed":
+		switch k := rng.Intn(10); {
+		case k < 2: // combinational glue
+			c.Inputs = 20 + rng.Intn(120)
+			c.Outputs = 10 + rng.Intn(80)
+			c.Test.Patterns = 30 + rng.Intn(300)
+		case k < 4: // BIST memory
+			c.Inputs = 8 + rng.Intn(20)
+			c.Outputs = 4 + rng.Intn(16)
+			nc := 1 + rng.Intn(4)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, 80+rng.Intn(200))
+			}
+			c.Test.Patterns = 100 + rng.Intn(300)
+			if cfg.BISTEngines > 0 {
+				c.Test.Kind = soc.BISTTest
+				c.Test.BISTEngine = rng.Intn(cfg.BISTEngines)
+			} else {
+				// BIST disabled: keep the memory as an external scan test,
+				// but burn the engine draw so the core mix is unchanged
+				// relative to the classic generator.
+				_ = rng.Intn(2)
+			}
+		case k < 8: // small-to-medium scan core
+			c.Inputs = 15 + rng.Intn(60)
+			c.Outputs = 10 + rng.Intn(50)
+			nc := 2 + rng.Intn(10)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, 30+rng.Intn(150))
+			}
+			c.Test.Patterns = 50 + rng.Intn(250)
+		default: // large scan core
+			c.Inputs = 30 + rng.Intn(80)
+			c.Outputs = 25 + rng.Intn(70)
+			nc := 12 + rng.Intn(28)
+			l := 90 + rng.Intn(140)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, l+rng.Intn(8))
+			}
+			c.Test.Patterns = 120 + rng.Intn(320)
+		}
+	case "combo":
+		// Mostly combinational glue with a thin scan tail: wide wrappers,
+		// shallow tests, no BIST.
+		if rng.Intn(10) < 8 {
+			c.Inputs = 40 + rng.Intn(160)
+			c.Outputs = 20 + rng.Intn(120)
+			c.Test.Patterns = 40 + rng.Intn(400)
+		} else {
+			c.Inputs = 10 + rng.Intn(40)
+			c.Outputs = 8 + rng.Intn(30)
+			nc := 1 + rng.Intn(4)
+			for j := 0; j < nc; j++ {
+				c.ScanChains = append(c.ScanChains, 20+rng.Intn(60))
+			}
+			c.Test.Patterns = 30 + rng.Intn(120)
+		}
+	case "longchain":
+		// Few but deep chains: the per-core staircases flatten early, so
+		// the bottleneck term dominates the lower bound.
+		c.Inputs = 10 + rng.Intn(30)
+		c.Outputs = 8 + rng.Intn(24)
+		nc := 1 + rng.Intn(3)
+		l := 600 + rng.Intn(900)
+		for j := 0; j < nc; j++ {
+			c.ScanChains = append(c.ScanChains, l+rng.Intn(40))
+		}
+		c.Test.Patterns = 80 + rng.Intn(240)
+	default:
+		panic(fmt.Sprintf("bench: Synth profile %q (want mixed, combo, longchain)", cfg.Profile))
+	}
+	return c
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/socfile"
+)
+
+// TestSynthClassicCompat pins the promoted generator to the classic
+// `socgen -random` byte stream: a default config must reproduce exactly
+// what the pre-promotion generator emitted (same rng draw sequence), so
+// historical seeds keep their meaning.
+func TestSynthClassicCompat(t *testing.T) {
+	s := Synth(SynthConfig{Cores: 5, Seed: 3})
+	var buf bytes.Buffer
+	if err := socfile.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	const classic = `SocName rand5
+TotalCores 5
+
+Core 1 core1
+  Inputs 87 Outputs 41 Bidirs 0
+  ScanChains 18 : 170 171 172 167 170 169 173 172 174 173 168 169 173 169 173 168 174 168
+  Test Patterns 242
+
+Core 2 core2
+  Inputs 49 Outputs 57 Bidirs 0
+  Test Patterns 284
+
+Core 3 core3
+  Inputs 8 Outputs 6 Bidirs 0
+  ScanChains 4 : 270 132 132 192
+  Test Patterns 317 Kind bist Engine 1
+
+Core 4 core4
+  Inputs 64 Outputs 43 Bidirs 0
+  ScanChains 8 : 53 134 165 132 174 179 43 96
+  Test Patterns 156
+
+Core 5 core5
+  Inputs 31 Outputs 51 Bidirs 0
+  ScanChains 25 : 161 161 157 155 155 160 160 161 155 162 158 158 160 158 162 160 155 157 162 159 160 157 155 161 157
+  Test Patterns 247
+
+Precedence 3 5
+`
+	if got := buf.String(); got != classic {
+		t.Errorf("Synth default config diverged from the classic generator:\n got:\n%s\nwant:\n%s", got, classic)
+	}
+}
+
+func TestSynthKnobs(t *testing.T) {
+	t.Run("bist-single-engine", func(t *testing.T) {
+		s := Synth(SynthConfig{Cores: 30, Seed: 2, BISTEngines: 1})
+		bist := 0
+		for _, c := range s.Cores {
+			if c.Test.Kind == soc.BISTTest {
+				bist++
+				if c.Test.BISTEngine != 0 {
+					t.Errorf("core %d: engine %d, want 0", c.ID, c.Test.BISTEngine)
+				}
+			}
+		}
+		if bist < 2 {
+			t.Fatalf("expected >= 2 BIST cores in a 30-core mixed SOC, got %d", bist)
+		}
+	})
+	t.Run("bist-disabled", func(t *testing.T) {
+		s := Synth(SynthConfig{Cores: 30, Seed: 2, BISTEngines: -1})
+		for _, c := range s.Cores {
+			if c.Test.Kind == soc.BISTTest {
+				t.Errorf("core %d is BIST with BISTEngines=-1", c.ID)
+			}
+		}
+	})
+	t.Run("bist-disabled-keeps-core-mix", func(t *testing.T) {
+		// Disabling BIST must not shift the rng sequence: the structural
+		// core mix has to match the default generation bit for bit.
+		a := Synth(SynthConfig{Cores: 30, Seed: 2})
+		b := Synth(SynthConfig{Cores: 30, Seed: 2, BISTEngines: -1})
+		for i := range a.Cores {
+			ca, cb := a.Cores[i], b.Cores[i]
+			if ca.Inputs != cb.Inputs || ca.Outputs != cb.Outputs ||
+				ca.ScanBits() != cb.ScanBits() || ca.Test.Patterns != cb.Test.Patterns {
+				t.Errorf("core %d: structure diverged when BIST disabled", ca.ID)
+			}
+		}
+	})
+	t.Run("hierarchy", func(t *testing.T) {
+		s := Synth(SynthConfig{Cores: 40, Seed: 5, HierarchyPct: 50})
+		nested := 0
+		for _, c := range s.Cores {
+			if c.Parent != 0 {
+				nested++
+				if c.Parent >= c.ID {
+					t.Errorf("core %d has parent %d >= its own ID", c.ID, c.Parent)
+				}
+			}
+		}
+		if nested == 0 {
+			t.Error("HierarchyPct=50 produced a flat 40-core SOC")
+		}
+	})
+	t.Run("power", func(t *testing.T) {
+		s := Synth(SynthConfig{Cores: 20, Seed: 4, PowerValues: true, PowerBudgetPct: 110})
+		if s.PowerMax <= 0 {
+			t.Fatal("PowerBudgetPct did not set PowerMax")
+		}
+		for _, c := range s.Cores {
+			if c.Test.Power <= 0 {
+				t.Errorf("core %d: no explicit power value", c.ID)
+			}
+			if c.TestPower() > s.PowerMax {
+				t.Errorf("core %d: power %d exceeds budget %d (unschedulable)", c.ID, c.TestPower(), s.PowerMax)
+			}
+		}
+	})
+	t.Run("constraints", func(t *testing.T) {
+		s := Synth(SynthConfig{Cores: 15, Seed: 6, ExtraPrecedences: 5, ExtraConcurrencies: 5})
+		if len(s.Precedences) < 5 {
+			t.Errorf("got %d precedences, want >= 5", len(s.Precedences))
+		}
+		if len(s.Concurrencies) != 5 {
+			t.Errorf("got %d concurrencies, want 5", len(s.Concurrencies))
+		}
+		for _, p := range s.Precedences {
+			if p.Before >= p.After {
+				t.Errorf("precedence %d<%d is not low-to-high (cycle risk)", p.Before, p.After)
+			}
+		}
+	})
+	t.Run("profiles", func(t *testing.T) {
+		for _, prof := range []string{"mixed", "combo", "longchain"} {
+			s := Synth(SynthConfig{Cores: 10, Seed: 3, Profile: prof})
+			if err := s.Validate(); err != nil {
+				t.Errorf("profile %s: %v", prof, err)
+			}
+		}
+	})
+}

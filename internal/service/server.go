@@ -151,10 +151,10 @@ type ganttRequest struct {
 }
 
 type sweepRequest struct {
-	SOC      string `json:"soc"`
-	WidthLo  int    `json:"widthLo,omitempty"`
-	WidthHi  int    `json:"widthHi,omitempty"`
-	Workers  int    `json:"workers,omitempty"`
+	SOC     string `json:"soc"`
+	WidthLo int    `json:"widthLo,omitempty"`
+	WidthHi int    `json:"widthHi,omitempty"`
+	Workers int    `json:"workers,omitempty"`
 	// Wait runs the sweep synchronously on the request instead of
 	// submitting an async job.
 	Wait bool `json:"wait,omitempty"`
@@ -270,6 +270,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !checkParamsWidths(w, req.Params) {
+		return
+	}
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
 		return
@@ -293,6 +296,37 @@ func (s *Server) runSchedule(r *http.Request, planner *repro.Planner, opts repro
 	return planner.Schedule(opts)
 }
 
+// MaxRequestWidth caps every client-controlled TAM width: sweep ranges,
+// params.tamWidth, and params.maxWidth. The paper's studies stop at W=80
+// and per-core widths at 64; anything past this is a typo or an attack —
+// the scheduler allocates per-wire bin state and the sweep per-width
+// state up front, so an unbounded width would let one request OOM or
+// CPU-starve the whole server.
+const MaxRequestWidth = 1024
+
+// checkSweepRange rejects out-of-range width bounds before any sweep
+// state is allocated (zero values are fine: datavol fills its defaults).
+func checkSweepRange(w http.ResponseWriter, lo, hi int) bool {
+	if lo < 0 || hi < 0 || lo > MaxRequestWidth || hi > MaxRequestWidth {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("sweep width range [%d,%d] outside [0,%d]", lo, hi, MaxRequestWidth))
+		return false
+	}
+	return true
+}
+
+// checkParamsWidths rejects out-of-range scheduling widths before they
+// reach the scheduler's per-wire allocations (zero values are fine: the
+// library fills its defaults and rejects a missing tamWidth itself).
+func checkParamsWidths(w http.ResponseWriter, p ParamsJSON) bool {
+	if p.TAMWidth < 0 || p.TAMWidth > MaxRequestWidth || p.MaxWidth < 0 || p.MaxWidth > MaxRequestWidth {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("params widths tamWidth=%d maxWidth=%d outside [0,%d]", p.TAMWidth, p.MaxWidth, MaxRequestWidth))
+		return false
+	}
+	return true
+}
+
 // handleSweep answers POST /v1/sweep: synchronously under the request
 // context when wait is set, otherwise as an async job whose result is
 // served by /v1/jobs/{id}/result with the same bytes as the synchronous
@@ -300,6 +334,9 @@ func (s *Server) runSchedule(r *http.Request, planner *repro.Planner, opts repro
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
 		return
 	}
 	fp, ok := s.reg.Resolve(req.SOC)
@@ -356,6 +393,9 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
+		return
+	}
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
 		return
@@ -382,6 +422,9 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	var req ganttRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !checkParamsWidths(w, req.Params) {
 		return
 	}
 	planner, ok := s.plannerFor(w, req.SOC)

@@ -519,3 +519,37 @@ func TestServiceHealthAndMetrics(t *testing.T) {
 		t.Fatalf("index: %s", body)
 	}
 }
+
+// TestServiceSweepRangeCap asserts that absurd client-chosen width ranges
+// are rejected up front with a 422 instead of allocating per-width sweep
+// state (an unbounded widthHi could OOM the process before any per-width
+// validation ran).
+func TestServiceSweepRangeCap(t *testing.T) {
+	_, ts := newTestService(t, Config{Preload: []string{"demo8"}, JobWorkers: 1})
+	client := ts.Client()
+
+	for _, tc := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 2_000_000_000, "wait": true}},
+		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": MaxRequestWidth + 1}},
+		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": -5, "widthHi": 8, "wait": true}},
+		{"/v1/effective", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 2_000_000_000}},
+		{"/v1/schedule", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 2_000_000_000}}},
+		{"/v1/schedule/best", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 16, "maxWidth": MaxRequestWidth + 1}}},
+		{"/v1/gantt", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": -3}}},
+	} {
+		code, body := doJSON(t, client, "POST", ts.URL+tc.path, tc.body)
+		if code != http.StatusUnprocessableEntity {
+			t.Errorf("%s %v: HTTP %d (want 422): %s", tc.path, tc.body, code, body)
+		}
+	}
+
+	// In-range requests still work, including the zero-value defaults.
+	code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
+		map[string]any{"soc": "demo8", "widthLo": 8, "widthHi": 12, "wait": true})
+	if code != http.StatusOK {
+		t.Errorf("in-range sweep: HTTP %d: %s", code, body)
+	}
+}
