@@ -17,6 +17,11 @@ import (
 	"repro/internal/tamsim"
 	"repro/internal/wrapper"
 	"repro/internal/wrapperrtl"
+
+	// Register the rectangle bin-packing backend: every consumer of this
+	// package (the CLIs, the service, the examples) schedules with the
+	// full backend registry — classic, rectpack, and portfolio.
+	_ "repro/internal/rectpack"
 )
 
 // Re-exported core types: the data model, the scheduler's inputs/outputs,
@@ -59,13 +64,44 @@ const (
 	BISTTest = soc.BISTTest
 )
 
+// DefaultBackend is the scheduling backend used when Options.Backend is
+// empty: the paper's grid-swept preferred-width heuristic ("classic").
+const DefaultBackend = sched.DefaultBackend
+
+// ErrUnknownBackend is wrapped by every error caused by an Options.Backend
+// value naming no registered backend; test with errors.Is.
+var ErrUnknownBackend = sched.ErrUnknownBackend
+
+// UnknownCoreError reports a schedule whose assignments reference a core ID
+// its SOC does not define (a stale, tampered, or mismatched schedule).
+// Verify, Planner.Verify, CheckInvariants, and LoadSchedule return it;
+// extract with errors.As.
+type UnknownCoreError = sched.UnknownCoreError
+
+// SchedulerBackends returns the names of the registered scheduling
+// backends, sorted: "classic" (the paper's heuristic), "portfolio" (race
+// everything, keep the shortest verified schedule), "rectpack" (best-fit
+// decreasing rectangle bin packing), plus anything else registered through
+// sched.RegisterBackend.
+func SchedulerBackends() []string { return sched.Backends() }
+
 // DefaultMaxWidth is the per-core TAM width cap (the paper's 64).
 const DefaultMaxWidth = sched.DefaultMaxWidth
 
 // Schedule computes a test schedule for the SOC with the given options.
-// Zero-valued option fields take the paper's defaults.
+// Zero-valued option fields take the paper's defaults. With the default
+// classic backend this is a single scheduler run at the given (α, δ);
+// a non-classic Options.Backend dispatches to that backend's best-schedule
+// mode (rectpack and portfolio have no per-run (α, δ) grid to pin).
 func Schedule(s *SOC, opts Options) (*TestSchedule, error) {
-	return sched.Run(s, opts)
+	if sched.IsDefaultBackend(opts.Backend) {
+		return sched.Run(s, opts)
+	}
+	o, err := sched.New(s, opts.Defaults().MaxWidth)
+	if err != nil {
+		return nil, err
+	}
+	return o.ScheduleBackend(context.Background(), opts)
 }
 
 // Planner is a reusable scheduling session for one SOC. It precomputes the
@@ -91,24 +127,37 @@ func NewPlanner(s *SOC) (*Planner, error) {
 	return &Planner{opt: opt}, nil
 }
 
-// Schedule computes one test schedule from the cached designs.
+// Schedule computes one test schedule from the cached designs: a single
+// classic run at the given (α, δ), or — when Options.Backend names a
+// non-classic backend — that backend's best schedule.
 func (p *Planner) Schedule(opts Options) (*TestSchedule, error) {
-	return p.opt.Run(opts)
+	if sched.IsDefaultBackend(opts.Backend) {
+		return p.opt.Run(opts)
+	}
+	return p.opt.ScheduleBackend(context.Background(), opts)
 }
 
-// ScheduleBest sweeps the (α, δ) parameter grid, deduplicating grid points
-// that resolve to the same per-core preferred widths, and returns the
-// schedule with the smallest SOC testing time.
+// ScheduleBest returns the best schedule of the backend named by
+// Options.Backend: the classic default sweeps the (α, δ) parameter grid
+// (deduplicating grid points that resolve to the same per-core preferred
+// widths) and returns the schedule with the smallest SOC testing time;
+// "rectpack" packs its strategy portfolio; "portfolio" races every
+// registered backend and returns the shortest verified schedule. Unknown
+// names fail with an error wrapping ErrUnknownBackend.
 func (p *Planner) ScheduleBest(opts Options) (*TestSchedule, error) {
-	return p.opt.SweepBest(opts, nil, nil)
+	return p.ScheduleBestContext(context.Background(), opts)
 }
 
 // ScheduleBestContext is ScheduleBest with cancellation: once ctx is done
-// the grid sweep stops launching scheduler runs and returns ctx's error.
+// the backend stops launching scheduler runs and returns ctx's error.
 // A nil or never-cancelled ctx returns exactly what ScheduleBest returns.
 func (p *Planner) ScheduleBestContext(ctx context.Context, opts Options) (*TestSchedule, error) {
-	return p.opt.SweepBestContext(ctx, opts, nil, nil)
+	return p.opt.ScheduleBackend(ctx, opts)
 }
+
+// SOC returns the Planner's SOC (read-only; mutating it invalidates the
+// Planner's caches).
+func (p *Planner) SOC() *SOC { return p.opt.SOC() }
 
 // SweepWidths schedules the SOC at every TAM width in [lo, hi] (workers
 // as in SweepWidthsWorkers), reusing the Planner's caches across widths.
@@ -142,18 +191,37 @@ func (p *Planner) Pareto(coreID int) *ParetoSet {
 	return p.opt.ParetoSet(coreID)
 }
 
-// ScheduleBest sweeps the (α, δ) parameter grid and returns the schedule
-// with the smallest SOC testing time. The grid points are independent
-// scheduler runs fanned out over opts.Workers goroutines (0 = all CPUs,
-// 1 = sequential); the result is identical either way.
+// ScheduleBest returns the best schedule of the backend named by
+// Options.Backend (empty = classic: sweep the (α, δ) parameter grid and
+// keep the smallest SOC testing time). Grid points and portfolio racers
+// are independent scheduler runs fanned out over opts.Workers goroutines
+// (0 = all CPUs, 1 = sequential); the result is identical either way.
 func ScheduleBest(s *SOC, opts Options) (*TestSchedule, error) {
-	return sched.SweepBest(s, opts, nil, nil)
+	if sched.IsDefaultBackend(opts.Backend) {
+		return sched.SweepBest(s, opts, nil, nil)
+	}
+	o, err := sched.New(s, opts.Defaults().MaxWidth)
+	if err != nil {
+		return nil, err
+	}
+	return o.ScheduleBackend(context.Background(), opts)
 }
 
 // VerifySchedule re-derives every schedule invariant (packing, timing
 // model, constraints) from first principles.
 func VerifySchedule(s *SOC, sch *TestSchedule) error {
 	return sched.Verify(s, sch)
+}
+
+// CheckInvariants is the backend-independent property checker: straight
+// from the raw assignments it re-derives that every core is tested exactly
+// once, no TAM wire carries two tests at once, the power budget is never
+// exceeded, and every precedence and mutual-exclusion edge is honored.
+// Unlike VerifySchedule it never consults the timing model or wrapper
+// designs, so it accepts any correct schedule regardless of which backend
+// (or external tool) produced it.
+func CheckInvariants(s *SOC, sch *TestSchedule) error {
+	return sched.CheckInvariants(s, sch)
 }
 
 // Simulate replays a schedule on the simulated tester: wire-level TAM

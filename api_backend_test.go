@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro"
+)
+
+func TestSchedulerBackendsRegistered(t *testing.T) {
+	names := repro.SchedulerBackends()
+	want := map[string]bool{"classic": false, "portfolio": false, "rectpack": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("SchedulerBackends() = %v, missing %q", names, n)
+		}
+	}
+}
+
+func TestPlannerBackendDispatch(t *testing.T) {
+	s := repro.BenchmarkSOC("d695")
+	p, err := repro.NewPlanner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := p.ScheduleBest(repro.Options{TAMWidth: 32, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := p.ScheduleBest(repro.Options{TAMWidth: 32, Workers: 1, Backend: "rectpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.Params.Backend != "rectpack" {
+		t.Errorf("rectpack result echoes backend %q", rect.Params.Backend)
+	}
+	port, err := p.ScheduleBest(repro.Options{TAMWidth: 32, Workers: 1, Backend: "portfolio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := classic.Makespan
+	if rect.Makespan < best {
+		best = rect.Makespan
+	}
+	if port.Makespan > best {
+		t.Errorf("portfolio makespan %d worse than best single backend %d", port.Makespan, best)
+	}
+	for name, sch := range map[string]*repro.TestSchedule{"classic": classic, "rectpack": rect, "portfolio": port} {
+		if err := p.Verify(sch); err != nil {
+			t.Errorf("%s: verify: %v", name, err)
+		}
+		if err := repro.CheckInvariants(s, sch); err != nil {
+			t.Errorf("%s: invariants: %v", name, err)
+		}
+	}
+
+	// Schedule (single-run mode) dispatches non-classic backends too.
+	single, err := p.Schedule(repro.Options{TAMWidth: 32, Backend: "rectpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Makespan != rect.Makespan {
+		t.Errorf("Planner.Schedule backend=rectpack makespan %d, ScheduleBest %d", single.Makespan, rect.Makespan)
+	}
+
+	if _, err := p.ScheduleBest(repro.Options{TAMWidth: 32, Backend: "bogus"}); !errors.Is(err, repro.ErrUnknownBackend) {
+		t.Errorf("unknown backend error = %v, want ErrUnknownBackend", err)
+	}
+	if _, err := p.Schedule(repro.Options{TAMWidth: 32, Backend: "bogus"}); !errors.Is(err, repro.ErrUnknownBackend) {
+		t.Errorf("Schedule unknown backend error = %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestLoadScheduleUnknownCoreTyped pins the typed rejection of serialized
+// schedules that reference cores their SOC does not define.
+func TestLoadScheduleUnknownCoreTyped(t *testing.T) {
+	s := repro.BenchmarkSOC("demo8")
+	sch, err := repro.Schedule(s, repro.Options{TAMWidth: 16, Percent: 5, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.SaveSchedule(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	// Splice an assignment for a core the SOC does not define into the
+	// serialized document, on a free wire region past the makespan.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	cores := doc["cores"].([]any)
+	doc["cores"] = append(cores, map[string]any{
+		"coreId": 4242, "width": 1, "baseTime": 10, "preemptions": 0,
+		"scanIn": 1, "scanOut": 1,
+		"pieces": []any{map[string]any{"start": float64(sch.Makespan + 1), "end": float64(sch.Makespan + 11), "wires": []any{0}}},
+	})
+	tampered, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.LoadSchedule(bytes.NewReader(tampered), s)
+	var uce *repro.UnknownCoreError
+	if !errors.As(err, &uce) {
+		t.Fatalf("LoadSchedule error = %v, want *UnknownCoreError", err)
+	}
+	if uce.CoreID != 4242 {
+		t.Fatalf("UnknownCoreError.CoreID = %d, want 4242", uce.CoreID)
+	}
+}

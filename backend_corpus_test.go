@@ -1,0 +1,95 @@
+package repro_test
+
+// The corpus-wide backend invariant suite: every scenario in
+// internal/corpus is scheduled by every registered backend, and every
+// resulting schedule must pass sched.CheckInvariants (no TAM-wire overlap,
+// power budget never exceeded, precedence and mutual-exclusion edges
+// honored, every core tested exactly once) and the full timing-model
+// Verify. The suite also pins the competitive acceptance bars: rectpack
+// ties or beats the classic grid-swept makespan on at least 5 scenarios,
+// and the portfolio is never worse than the best single backend.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sched"
+)
+
+func TestCorpusBackendInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus backend replay skipped in -short mode")
+	}
+	backends := sched.Backends()
+	if len(backends) < 3 {
+		t.Fatalf("expected classic, portfolio and rectpack registered, have %v", backends)
+	}
+
+	type outcome struct {
+		makespans map[string]int64
+	}
+	var mu sync.Mutex
+	results := make(map[string]*outcome)
+
+	scenarios := corpus.All()
+	// The per-scenario subtests run in parallel inside one group, so the
+	// aggregate bar below only runs once every outcome is in.
+	t.Run("scenarios", func(t *testing.T) {
+		for _, sc := range scenarios {
+			t.Run(sc.Name, func(t *testing.T) {
+				t.Parallel()
+				out := &outcome{makespans: make(map[string]int64, len(backends))}
+				s := sc.Build()
+				for _, backend := range backends {
+					sch, _, err := corpus.ReplaySchedule(sc, backend)
+					if err != nil {
+						t.Fatalf("backend %s: %v", backend, err)
+					}
+					if err := sched.CheckInvariants(s, sch); err != nil {
+						t.Errorf("backend %s: invariants: %v", backend, err)
+					}
+					if err := sched.Verify(s, sch); err != nil {
+						t.Errorf("backend %s: verify: %v", backend, err)
+					}
+					out.makespans[backend] = sch.Makespan
+				}
+				best := out.makespans[backends[0]]
+				for _, m := range out.makespans {
+					if m < best {
+						best = m
+					}
+				}
+				if p := out.makespans["portfolio"]; p > best {
+					t.Errorf("portfolio makespan %d worse than best single backend %d (%v)", p, best, out.makespans)
+				}
+				mu.Lock()
+				results[sc.Name] = out
+				mu.Unlock()
+			})
+		}
+	})
+
+	t.Run("rectpack-competitive", func(t *testing.T) {
+		if len(results) != len(scenarios) {
+			t.Fatalf("only %d of %d scenarios produced outcomes", len(results), len(scenarios))
+		}
+		ties, wins := 0, 0
+		for _, sc := range scenarios {
+			out := results[sc.Name]
+			r, c := out.makespans["rectpack"], out.makespans["classic"]
+			switch {
+			case r < c:
+				wins++
+			case r == c:
+				ties++
+			}
+			t.Logf("%-28s classic=%-9d rectpack=%-9d portfolio=%d", sc.Name,
+				out.makespans["classic"], out.makespans["rectpack"], out.makespans["portfolio"])
+		}
+		t.Logf("rectpack vs classic: %d wins, %d ties, %d losses", wins, ties, len(scenarios)-wins-ties)
+		if wins+ties < 5 {
+			t.Errorf("rectpack ties or beats classic on only %d scenarios, want >= 5", wins+ties)
+		}
+	})
+}

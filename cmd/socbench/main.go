@@ -5,6 +5,7 @@
 //
 // Usage:
 //
+//	socbench -backends                # classic vs rectpack vs portfolio
 //	socbench -table 1                 # Table 1 for all four SOCs
 //	socbench -table 2 -soc d695       # Table 2 block for one SOC
 //	socbench -fig 1                   # Fig. 1 staircase (CSV)
@@ -17,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/datavol"
@@ -34,11 +37,16 @@ import (
 	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/soc"
+
+	// Register the rectangle bin-packing backend for the -backends
+	// comparison (and as a portfolio racer).
+	_ "repro/internal/rectpack"
 )
 
 func main() {
 	var (
 		table     = flag.String("table", "", "regenerate a table: 1 or 2")
+		backends  = flag.Bool("backends", false, "compare scheduler backends (classic vs rectpack vs portfolio) on the benchmark SOCs")
 		fig       = flag.String("fig", "", "regenerate a figure: 1, 9a, 9b, 9c, 9d")
 		ablation  = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
 		socName   = flag.String("soc", "", "restrict to one SOC (default: all four)")
@@ -73,6 +81,10 @@ func main() {
 			fatal(fmt.Errorf("-benchcmp needs -benchnew (or a file-backed -benchjson) to compare against"))
 		}
 		runBenchCmp(*benchcmp, cur, *benchmax)
+	}
+	if *all || *backends {
+		ran = true
+		runBackends(socs, *quick, *workers)
 	}
 	if *all || *table == "1" {
 		ran = true
@@ -267,6 +279,50 @@ func pickSOCs(name string) ([]*soc.SOC, error) {
 		return nil, err
 	}
 	return []*soc.SOC{s}, nil
+}
+
+// runBackends races every registered scheduling backend on the benchmark
+// SOCs and reports makespans and wall-clock per backend, plus the winner.
+func runBackends(socs []*soc.SOC, quick bool, workers int) {
+	widths := []int{16, 32, 48, 64}
+	if quick {
+		widths = []int{32}
+	}
+	names := sched.Backends()
+	headers := []string{"SOC", "W"}
+	for _, n := range names {
+		headers = append(headers, n+" cycles", n+" ms")
+	}
+	headers = append(headers, "winner")
+	t := &report.Table{
+		Title:   "Scheduler backends: best makespan per backend (cycles, wall-clock ms)",
+		Headers: headers,
+	}
+	for _, s := range socs {
+		opt, err := sched.New(s, sched.DefaultMaxWidth)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range widths {
+			row := []any{s.Name, w}
+			winner := ""
+			var best int64
+			for _, n := range names {
+				start := time.Now()
+				sch, err := opt.ScheduleBackend(context.Background(),
+					sched.Params{TAMWidth: w, Workers: workers, Backend: n})
+				if err != nil {
+					fatal(err)
+				}
+				row = append(row, sch.Makespan, time.Since(start).Milliseconds())
+				if winner == "" || sch.Makespan < best {
+					winner, best = n, sch.Makespan
+				}
+			}
+			t.AddRow(append(row, winner)...)
+		}
+	}
+	mustRender(t)
 }
 
 func runTable1(socs []*soc.SOC, workers int) {

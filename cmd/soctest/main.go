@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/lb"
@@ -26,6 +28,10 @@ import (
 	"repro/internal/tamsim"
 	"repro/internal/wrapper"
 	"repro/internal/wrapperrtl"
+
+	// Register the rectangle bin-packing backend for -backend rectpack
+	// (and as a portfolio racer).
+	_ "repro/internal/rectpack"
 )
 
 func main() {
@@ -33,8 +39,9 @@ func main() {
 		socName     = flag.String("soc", "", "built-in benchmark SOC (d695, p22810like, p34392like, p93791like, demo8)")
 		file        = flag.String("file", "", "path to a .soc description (alternative to -soc)")
 		w           = flag.Int("w", 32, "total SOC TAM width W")
-		percent     = flag.Int("alpha", 0, "preferred-width percent α (0 = sweep the grid)")
-		delta       = flag.Int("delta", -1, "Pareto promotion δ (-1 = sweep the grid)")
+		percent     = flag.Int("alpha", 0, "preferred-width percent α (0 = sweep the grid; classic backend only)")
+		delta       = flag.Int("delta", -1, "Pareto promotion δ (-1 = sweep the grid; classic backend only)")
+		backend     = flag.String("backend", "", "scheduling backend: "+strings.Join(sched.Backends(), ", ")+" (default classic)")
 		preempt     = flag.Int("preempt", 0, "preemption budget for larger cores (0 = non-preemptive)")
 		powerFactor = flag.Int("powerfactor", 0, "power budget as % of the largest test power (0 = unconstrained)")
 		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt chart")
@@ -66,10 +73,17 @@ func main() {
 	}
 
 	var schedule *sched.Schedule
-	if *percent > 0 && *delta >= 0 {
+	switch {
+	case *backend != "" && *backend != sched.DefaultBackend:
+		params.Backend = *backend
+		var opt *sched.Optimizer
+		if opt, err = sched.New(s, sched.DefaultMaxWidth); err == nil {
+			schedule, err = opt.ScheduleBackend(context.Background(), params)
+		}
+	case *percent > 0 && *delta >= 0:
 		params.Percent, params.Delta = *percent, *delta
 		schedule, err = sched.Run(s, params)
-	} else {
+	default:
 		var percents, deltas []int
 		if *percent > 0 {
 			percents = []int{*percent}
@@ -97,8 +111,12 @@ func main() {
 	fmt.Printf("TAM idle area %d wire-cycles (utilization %.1f%%)\n",
 		schedule.IdleArea(), 100*schedule.Utilization())
 	fmt.Printf("data volume   %d bits (per-pin depth %d)\n", schedule.DataVolume(), schedule.Makespan)
-	fmt.Printf("params        alpha=%d delta=%d powermax=%d\n",
-		schedule.Params.Percent, schedule.Params.Delta, schedule.Params.PowerMax)
+	shownBackend := schedule.Params.Backend
+	if shownBackend == "" {
+		shownBackend = sched.DefaultBackend
+	}
+	fmt.Printf("params        backend=%s alpha=%d delta=%d powermax=%d\n",
+		shownBackend, schedule.Params.Percent, schedule.Params.Delta, schedule.Params.PowerMax)
 
 	if *verbose {
 		t := &report.Table{

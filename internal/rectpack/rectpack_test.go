@@ -1,0 +1,139 @@
+package rectpack
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/schedio"
+)
+
+func optimizer(t *testing.T, name string) *sched.Optimizer {
+	t.Helper()
+	s, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+func TestRegistered(t *testing.T) {
+	b, err := sched.BackendByName(Name)
+	if err != nil {
+		t.Fatalf("rectpack not registered: %v", err)
+	}
+	if b.Name() != Name {
+		t.Fatalf("registered name %q, want %q", b.Name(), Name)
+	}
+}
+
+func TestScheduleVerifiesAcrossBenchmarks(t *testing.T) {
+	for _, name := range []string{"d695", "demo8", "p22810like", "p34392like", "p93791like"} {
+		opt := optimizer(t, name)
+		for _, w := range []int{8, 16, 32, 64} {
+			sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: w})
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", name, w, err)
+			}
+			if err := opt.Verify(sch); err != nil {
+				t.Errorf("%s W=%d: verify: %v", name, w, err)
+			}
+			if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+				t.Errorf("%s W=%d: invariants: %v", name, w, err)
+			}
+			if sch.Params.TAMWidth != w || sch.TAMWidth != w {
+				t.Errorf("%s W=%d: echoed width %d/%d", name, w, sch.Params.TAMWidth, sch.TAMWidth)
+			}
+		}
+	}
+}
+
+func TestScheduleHonorsPowerBudget(t *testing.T) {
+	opt := optimizer(t, "d695")
+	budget := sched.DefaultPowerBudget(opt.SOC(), 110)
+	sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 16, PowerMax: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+		t.Fatalf("power-constrained schedule: %v", err)
+	}
+}
+
+func TestScheduleNonPreemptive(t *testing.T) {
+	opt := optimizer(t, "d695")
+	mp, err := opt.LargerCorePreemptions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 24, MaxPreemptions: mp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range sch.Assignments {
+		if a.Preemptions != 0 || len(a.Pieces) != 1 || a.PenaltyCycles != 0 {
+			t.Errorf("core %d: rectpack preempted (%d pieces, %d preemptions)", id, len(a.Pieces), a.Preemptions)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	var outs [2][]byte
+	for i := range outs {
+		opt := optimizer(t, "p22810like")
+		sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := schedio.Save(&buf, sch); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = buf.Bytes()
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("rectpack schedules differ across runs")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	if _, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 0}); err == nil {
+		t.Error("TAMWidth 0 accepted")
+	}
+	if _, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 16, MaxWidth: 999}); err == nil {
+		t.Error("MaxWidth above the optimizer cap accepted")
+	}
+}
+
+func TestScheduleCancelled(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Schedule(ctx, opt, sched.Params{TAMWidth: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rectpack returned %v, want context.Canceled", err)
+	}
+}
+
+func TestScheduleRespectsMaxWidthCap(t *testing.T) {
+	opt := optimizer(t, "d695")
+	sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 32, MaxWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range sch.Assignments {
+		if a.Width > 4 {
+			t.Errorf("core %d assigned width %d above MaxWidth 4", id, a.Width)
+		}
+	}
+	if err := opt.Verify(sch); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBackend is the backend used when Params.Backend is empty: the
+// paper's preferred-width heuristic swept over its (α, δ, slack) grid.
+const DefaultBackend = "classic"
+
+// Backend is one scheduling strategy. A backend produces its best schedule
+// for the optimizer's SOC under the given parameters; the grid-swept paper
+// heuristic ("classic"), the rectangle bin packer ("rectpack"), and the
+// racing meta-backend ("portfolio") all implement it. Implementations must
+// be safe for concurrent use: Schedule may be called from many goroutines
+// with distinct optimizers, and the portfolio backend races backends in
+// parallel against one shared optimizer.
+type Backend interface {
+	// Name returns the backend's registry name (lowercase, stable).
+	Name() string
+	// Schedule computes the backend's best schedule. Implementations stop
+	// early and return ctx's error once ctx is done; a nil ctx behaves
+	// like context.Background(). The returned schedule must satisfy every
+	// invariant CheckInvariants enforces.
+	Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error)
+}
+
+// ErrUnknownBackend is wrapped by every unknown-backend-name error, so
+// callers (the HTTP service maps it to 422) test with errors.Is.
+var ErrUnknownBackend = errors.New("sched: unknown backend")
+
+var (
+	backendMu  sync.RWMutex
+	backendsBy = make(map[string]Backend)
+)
+
+// RegisterBackend adds a backend to the global registry. It panics on an
+// empty name or a duplicate registration (programmer error, like
+// database/sql drivers). Packages register themselves in init; importing
+// repro/internal/rectpack, for example, makes "rectpack" available.
+func RegisterBackend(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("sched: RegisterBackend with empty name")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendsBy[name]; dup {
+		panic(fmt.Sprintf("sched: RegisterBackend called twice for %q", name))
+	}
+	backendsBy[name] = b
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendsBy))
+	for name := range backendsBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsDefaultBackend reports whether a backend name resolves to the default
+// classic backend — the only backend with a distinct single-run mode. The
+// dispatch layers (repro API, service, corpus) share this predicate so
+// they can never disagree about which requests take the single-run path.
+func IsDefaultBackend(name string) bool {
+	return name == "" || name == DefaultBackend
+}
+
+// BackendByName resolves a backend name; "" means DefaultBackend. Unknown
+// names return an error wrapping ErrUnknownBackend that lists what is
+// registered.
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	backendMu.RLock()
+	b, ok := backendsBy[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownBackend, name, strings.Join(Backends(), ", "))
+	}
+	return b, nil
+}
+
+// ScheduleBackend resolves params.Backend ("" = DefaultBackend) and runs
+// it. This is the single dispatch point every layer above the scheduler
+// (the repro API, the CLIs, the HTTP service, the corpus replayer) goes
+// through.
+func (o *Optimizer) ScheduleBackend(ctx context.Context, params Params) (*Schedule, error) {
+	b, err := BackendByName(params.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return b.Schedule(ctx, o, params)
+}
+
+// classicBackend is the paper's heuristic: preferred-width rectangle
+// growing swept over the (α, δ, insert-slack) grid, exactly SweepBest.
+type classicBackend struct{}
+
+func (classicBackend) Name() string { return "classic" }
+
+func (classicBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+	return opt.SweepBestContext(ctx, params, nil, nil)
+}
+
+// portfolioBackend races every other registered backend on the shared
+// optimizer (bounded by params.Workers) and returns the shortest verified
+// schedule. Each racer's result is re-verified before it may win, so a
+// buggy backend can never poison the portfolio. When a verified schedule
+// reaches the scheduling lower bound LB(W) the race is over — the shared
+// context is cancelled and remaining racers stop early.
+//
+// The returned makespan is deterministic: it is never worse than the best
+// single backend, and an early cancel only fires for LB(W)-optimal
+// schedules, which no racer can beat. The exact schedule bytes are
+// deterministic too when the race runs sequentially (Workers = 1, as the
+// corpus replayer pins): equal-makespan ties then break toward the
+// alphabetically first backend. With parallel racers an LB(W)-optimal
+// finisher may cancel an equally-good rival mid-run, so which optimal
+// layout is returned can vary run to run.
+type portfolioBackend struct{}
+
+func (portfolioBackend) Name() string { return "portfolio" }
+
+func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	names := Backends()
+	racers := make([]Backend, 0, len(names))
+	for _, name := range names {
+		if name == "portfolio" {
+			continue
+		}
+		b, err := BackendByName(name)
+		if err != nil {
+			return nil, err
+		}
+		racers = append(racers, b)
+	}
+	if len(racers) == 0 {
+		return nil, fmt.Errorf("sched: portfolio has no backends to race")
+	}
+	floor := optimalityFloor(opt, params)
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Schedule, len(racers))
+	errs := make([]error, len(racers))
+	ForEachContext(raceCtx, params.Workers, len(racers), func(i int) {
+		p := params
+		p.Backend = racers[i].Name()
+		sch, err := racers[i].Schedule(raceCtx, opt, p)
+		if err == nil {
+			err = opt.Verify(sch)
+		}
+		if err != nil {
+			sch = nil // only verified schedules may win
+		}
+		results[i], errs[i] = sch, err
+		if sch != nil && floor > 0 && sch.Makespan <= floor {
+			cancel() // a verified optimum: no racer can do better
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var best *Schedule
+	for _, sch := range results {
+		if sch == nil {
+			continue
+		}
+		if best == nil || sch.Makespan < best.Makespan {
+			best = sch
+		}
+	}
+	if best == nil {
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("sched: portfolio: every backend failed; %s: %w", racers[i].Name(), err)
+			}
+		}
+		return nil, fmt.Errorf("sched: portfolio: race cancelled before any backend finished")
+	}
+	return best, nil
+}
+
+// optimalityFloor returns the scheduling lower bound LB(W) = max(⌈Σ
+// minArea / W⌉, bottleneck) computed from the optimizer's cached Pareto
+// sets, or 0 when the parameters are out of the cache's range (the racers
+// will surface the real error).
+func optimalityFloor(opt *Optimizer, params Params) int64 {
+	params = params.Defaults()
+	wmax := params.MaxWidth
+	if wmax > params.TAMWidth {
+		wmax = params.TAMWidth
+	}
+	if wmax < 1 || params.MaxWidth > opt.maxWidth || params.TAMWidth < 1 {
+		return 0
+	}
+	var area int64
+	var bottleneck int64
+	for _, set := range opt.sets {
+		capped, err := set.Capped(wmax)
+		if err != nil {
+			return 0
+		}
+		area += capped.MinArea()
+		if t := capped.MinTime(); t > bottleneck {
+			bottleneck = t
+		}
+	}
+	w := int64(params.TAMWidth)
+	lb := (area + w - 1) / w
+	if bottleneck > lb {
+		lb = bottleneck
+	}
+	return lb
+}
+
+func init() {
+	RegisterBackend(classicBackend{})
+	RegisterBackend(portfolioBackend{})
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{"classic": true, "portfolio": true}
+	for name := range want {
+		found := false
+		for _, n := range names {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Backends() = %v, missing %q", names, name)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Backends() = %v not sorted", names)
+		}
+	}
+
+	b, err := BackendByName("")
+	if err != nil {
+		t.Fatalf("BackendByName(\"\"): %v", err)
+	}
+	if b.Name() != DefaultBackend {
+		t.Errorf("empty name resolved to %q, want %q", b.Name(), DefaultBackend)
+	}
+	if _, err := BackendByName("no-such-backend"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("unknown backend error = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestRegisterBackendPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterBackend(testBackend{name: ""}) })
+	mustPanic("duplicate", func() { RegisterBackend(classicBackend{}) })
+}
+
+// testBackend is a configurable fake for registry and portfolio tests.
+type testBackend struct {
+	name string
+	fn   func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error)
+}
+
+func (b testBackend) Name() string { return b.name }
+
+func (b testBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+	return b.fn(ctx, opt, params)
+}
+
+// registerRaceFakes registers, once for the whole test binary, a backend
+// that always fails and a backend that returns a corrupt schedule. The
+// portfolio must tolerate both: failures are skipped and corrupt results
+// are rejected by verification.
+var registerRaceFakes = func() func() {
+	var done bool
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		RegisterBackend(testBackend{
+			name: "test-failing",
+			fn: func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+				return nil, fmt.Errorf("always fails")
+			},
+		})
+		RegisterBackend(testBackend{
+			name: "test-corrupt",
+			fn: func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+				sch, err := opt.Run(params.Defaults())
+				if err != nil {
+					return nil, err
+				}
+				sch.Makespan = 1 // a lie Verify must catch
+				return sch, nil
+			},
+		})
+	}
+}()
+
+func TestScheduleBackendClassicMatchesSweepBest(t *testing.T) {
+	s := bench.D695()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{TAMWidth: 32, Workers: 1}
+	want, err := opt.SweepBest(params, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params
+	p.Backend = "classic"
+	got, err := opt.ScheduleBackend(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("classic backend makespan %d, SweepBest %d", got.Makespan, want.Makespan)
+	}
+	// The echoed Params differ only by the Backend field.
+	wantParams := want.Params
+	wantParams.Backend = got.Params.Backend
+	if !reflect.DeepEqual(got.Params, wantParams) {
+		t.Fatalf("classic backend params %+v, SweepBest %+v", got.Params, want.Params)
+	}
+	if !reflect.DeepEqual(got.Bin.Pieces(), want.Bin.Pieces()) {
+		t.Fatal("classic backend packed different pieces than SweepBest")
+	}
+}
+
+func TestPortfolioNeverWorseAndVerified(t *testing.T) {
+	registerRaceFakes()
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{TAMWidth: 16, Workers: 1}
+	classic, err := opt.SweepBest(params, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params
+	p.Backend = "portfolio"
+	got, err := opt.ScheduleBackend(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan > classic.Makespan {
+		t.Errorf("portfolio makespan %d worse than classic %d", got.Makespan, classic.Makespan)
+	}
+	if got.Makespan == 1 {
+		t.Error("portfolio returned the corrupt racer's schedule")
+	}
+	if err := opt.Verify(got); err != nil {
+		t.Errorf("portfolio result fails verification: %v", err)
+	}
+	if err := CheckInvariants(s, got); err != nil {
+		t.Errorf("portfolio result fails invariants: %v", err)
+	}
+}
+
+func TestPortfolioCancelled(t *testing.T) {
+	registerRaceFakes()
+	s := bench.D695()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Params{TAMWidth: 32, Workers: 1, Backend: "portfolio"}
+	if _, err := opt.ScheduleBackend(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled portfolio returned %v, want context.Canceled", err)
+	}
+}
+
+func TestScheduleBackendUnknown(t *testing.T) {
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = opt.ScheduleBackend(context.Background(), Params{TAMWidth: 16, Backend: "bogus"})
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("unknown backend error = %v, want ErrUnknownBackend", err)
+	}
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/soc"
+)
+
+// UnknownCoreError reports a schedule whose assignments reference a core ID
+// the SOC does not define — a stale or tampered schedule, or one produced
+// for a different SOC. Callers distinguish it from other verification
+// failures with errors.As.
+type UnknownCoreError struct {
+	// CoreID is the referenced core the SOC does not define.
+	CoreID int
+}
+
+func (e *UnknownCoreError) Error() string {
+	return fmt.Sprintf("sched: schedule references unknown core %d", e.CoreID)
+}
+
+// unknownCore returns the lowest assignment core ID the SOC does not
+// define, as a typed error, or nil. Shared by Verify and CheckInvariants
+// so the two verifiers report the same defect identically.
+func unknownCore(s *soc.SOC, sch *Schedule) *UnknownCoreError {
+	known := make(map[int]bool, len(s.Cores))
+	for _, c := range s.Cores {
+		known[c.ID] = true
+	}
+	bad := -1
+	for id := range sch.Assignments {
+		if !known[id] && (bad == -1 || id < bad) {
+			bad = id
+		}
+	}
+	if bad == -1 {
+		return nil
+	}
+	return &UnknownCoreError{CoreID: bad}
+}
+
+// CheckInvariants is the backend-independent property checker: it re-derives
+// every safety invariant a schedule must satisfy straight from the raw
+// assignments, without consulting the timing model or the wrapper designs
+// (Verify covers those). Every registered backend's output must pass:
+//
+//   - every assignment references a core the SOC defines (*UnknownCoreError
+//     otherwise) and every core is tested exactly once: it has exactly one
+//     assignment, with at least one piece, and its pieces never overlap in
+//     time;
+//   - no TAM-wire overlap: each piece's wires are distinct and inside
+//     [0, TAMWidth), and no wire carries two pieces at the same instant;
+//   - the power budget is never exceeded at any instant;
+//   - precedence edges are honored (a successor never starts before every
+//     predecessor has completed) and mutual-exclusion edges — explicit
+//     concurrency constraints, hierarchy-implied ones unless the run
+//     ignored hierarchy, and shared BIST engines — never overlap.
+//
+// The corpus invariant suite runs this across every scenario × every
+// registered backend.
+func CheckInvariants(s *soc.SOC, sch *Schedule) error {
+	if sch == nil {
+		return fmt.Errorf("sched: nil schedule")
+	}
+	if sch.TAMWidth < 1 {
+		return fmt.Errorf("sched: non-positive TAM width %d", sch.TAMWidth)
+	}
+	if err := unknownCore(s, sch); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(sch.Assignments))
+	for id := range sch.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if a := sch.Assignments[id]; a == nil {
+			return fmt.Errorf("sched: core %d has a nil assignment", id)
+		} else if a.CoreID != id {
+			return fmt.Errorf("sched: assignment keyed %d claims core %d", id, a.CoreID)
+		}
+	}
+
+	type wireIval struct {
+		start, end int64
+		coreID     int
+	}
+	perWire := make(map[int][]wireIval)
+	intervals := make(map[int][]constraint.Interval, len(s.Cores))
+	for _, c := range s.Cores {
+		a := sch.Assignments[c.ID]
+		if a == nil {
+			return fmt.Errorf("sched: core %d never tested", c.ID)
+		}
+		if len(a.Pieces) == 0 {
+			return fmt.Errorf("sched: core %d has no scheduled pieces", c.ID)
+		}
+		if a.Width < 1 {
+			return fmt.Errorf("sched: core %d assigned non-positive width %d", c.ID, a.Width)
+		}
+		for i := range a.Pieces {
+			p := &a.Pieces[i]
+			if p.Start < 0 || p.End <= p.Start {
+				return fmt.Errorf("sched: core %d piece %d has bad interval [%d,%d)", c.ID, i, p.Start, p.End)
+			}
+			if len(p.Wires) != a.Width {
+				return fmt.Errorf("sched: core %d piece %d spans %d wires, assignment says %d", c.ID, i, len(p.Wires), a.Width)
+			}
+			seen := make(map[int]bool, len(p.Wires))
+			for _, w := range p.Wires {
+				if w < 0 || w >= sch.TAMWidth {
+					return fmt.Errorf("sched: core %d piece %d uses wire %d outside TAM width %d", c.ID, i, w, sch.TAMWidth)
+				}
+				if seen[w] {
+					return fmt.Errorf("sched: core %d piece %d lists wire %d twice", c.ID, i, w)
+				}
+				seen[w] = true
+				perWire[w] = append(perWire[w], wireIval{p.Start, p.End, c.ID})
+			}
+			intervals[c.ID] = append(intervals[c.ID], constraint.Interval{Start: p.Start, End: p.End})
+		}
+		ivs := intervals[c.ID]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End {
+				return fmt.Errorf("sched: core %d tested twice at once: [%d,%d) overlaps [%d,%d)",
+					c.ID, ivs[i].Start, ivs[i].End, ivs[i-1].Start, ivs[i-1].End)
+			}
+		}
+	}
+	wires := make([]int, 0, len(perWire))
+	for w := range perWire {
+		wires = append(wires, w)
+	}
+	sort.Ints(wires)
+	for _, w := range wires {
+		ivs := perWire[w]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				return fmt.Errorf("sched: TAM wire %d double-booked: core %d [%d,%d) overlaps core %d [%d,%d)",
+					w, ivs[i].coreID, ivs[i].start, ivs[i].end, ivs[i-1].coreID, ivs[i-1].start, ivs[i-1].end)
+			}
+		}
+	}
+
+	chk, err := constraint.New(s, constraint.Config{
+		PowerMax:        sch.Params.PowerMax,
+		IgnoreHierarchy: sch.Params.IgnoreHierarchy,
+	})
+	if err != nil {
+		return err
+	}
+	return chk.ValidateTimeline(intervals)
+}

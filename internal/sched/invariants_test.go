@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rect"
+)
+
+// demoSchedule builds a valid schedule of the demo SOC (hierarchy,
+// precedence, concurrency, and a shared BIST engine in one toy) for
+// invariant-mutation tests.
+func demoSchedule(t *testing.T) (*Schedule, *Optimizer) {
+	t.Helper()
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := opt.Run(Params{TAMWidth: 16, Percent: 5, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, opt
+}
+
+func TestCheckInvariantsAcceptsValidSchedules(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	if err := CheckInvariants(opt.SOC(), sch); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Power-constrained and preemptive schedules pass too.
+	s := bench.D695()
+	opt2, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := opt2.LargerCorePreemptions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch2, err := opt2.Run(Params{
+		TAMWidth:       24,
+		Percent:        5,
+		Delta:          1,
+		PowerMax:       DefaultPowerBudget(s, 125),
+		MaxPreemptions: mp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(s, sch2); err != nil {
+		t.Fatalf("valid constrained schedule rejected: %v", err)
+	}
+}
+
+func TestCheckInvariantsUnknownCore(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	sch.Assignments[9999] = &Assignment{
+		CoreID: 9999,
+		Width:  1,
+		Pieces: []rect.Piece{{CoreID: 9999, Start: 0, End: 1, Wires: []int{0}}},
+	}
+	err := CheckInvariants(opt.SOC(), sch)
+	var uce *UnknownCoreError
+	if !errors.As(err, &uce) {
+		t.Fatalf("error = %v, want *UnknownCoreError", err)
+	}
+	if uce.CoreID != 9999 {
+		t.Fatalf("UnknownCoreError.CoreID = %d, want 9999", uce.CoreID)
+	}
+}
+
+func TestCheckInvariantsMissingCore(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	for id := range sch.Assignments {
+		delete(sch.Assignments, id)
+		break
+	}
+	if err := CheckInvariants(opt.SOC(), sch); err == nil {
+		t.Fatal("schedule missing a core accepted")
+	}
+}
+
+func TestCheckInvariantsWireOverlap(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	// Move one core onto another core's exact wires and interval so a TAM
+	// wire carries two tests at once.
+	for _, id := range []int{1, 2} {
+		if sch.Assignments[id] == nil {
+			t.Fatalf("demo schedule has no core %d", id)
+		}
+	}
+	a, b := sch.Assignments[1], sch.Assignments[2]
+	a.Width = b.Width
+	a.Pieces = []rect.Piece{{CoreID: a.CoreID, Start: b.Pieces[0].Start, End: b.Pieces[0].End, Wires: append([]int(nil), b.Pieces[0].Wires...)}}
+	if err := CheckInvariants(opt.SOC(), sch); err == nil {
+		t.Fatal("wire-overlapping schedule accepted")
+	}
+}
+
+func TestCheckInvariantsCoreTestedTwiceAtOnce(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	var a *Assignment
+	for _, cand := range sch.Assignments {
+		a = cand
+		break
+	}
+	p := a.Pieces[0]
+	a.Pieces = append(a.Pieces, p) // the same interval twice
+	if err := CheckInvariants(opt.SOC(), sch); err == nil {
+		t.Fatal("doubly-tested core accepted")
+	}
+}
+
+func TestCheckInvariantsPowerBudget(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	// Claim a power budget of 1: any overlap of two powered tests (or any
+	// single test with power > 1) must now be rejected.
+	sch.Params.PowerMax = 1
+	if err := CheckInvariants(opt.SOC(), sch); err == nil {
+		t.Fatal("power-infeasible schedule accepted")
+	}
+}
+
+func TestCheckInvariantsPrecedence(t *testing.T) {
+	s := bench.Demo()
+	if len(s.Precedences) == 0 {
+		t.Fatal("demo SOC has no precedence edges")
+	}
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := opt.Run(Params{TAMWidth: 16, Percent: 5, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drag the successor of the first precedence edge to t=0 so it starts
+	// before its predecessor completes.
+	after := s.Precedences[0].After
+	a := sch.Assignments[after]
+	dur := a.Pieces[0].End - a.Pieces[0].Start
+	a.Pieces = []rect.Piece{{CoreID: after, Start: 0, End: dur, Wires: a.Pieces[0].Wires}}
+	if err := CheckInvariants(s, sch); err == nil {
+		t.Fatal("precedence-violating schedule accepted")
+	}
+}
+
+func TestVerifyUnknownCoreTyped(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	sch.Assignments[777] = &Assignment{
+		CoreID: 777,
+		Width:  1,
+		Pieces: []rect.Piece{{CoreID: 777, Start: 0, End: 1, Wires: []int{0}}},
+	}
+	for _, v := range []error{Verify(opt.SOC(), sch), opt.Verify(sch)} {
+		var uce *UnknownCoreError
+		if !errors.As(v, &uce) {
+			t.Errorf("error = %v, want *UnknownCoreError", v)
+		} else if uce.CoreID != 777 {
+			t.Errorf("UnknownCoreError.CoreID = %d, want 777", uce.CoreID)
+		}
+	}
+}

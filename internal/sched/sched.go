@@ -69,8 +69,14 @@ type Params struct {
 	// treated as 1. Parallel sweeps return schedules identical to the
 	// sequential path: per-grid-point results are collected and the
 	// smallest-makespan/first-grid-point tie-break is applied in grid
-	// order.
+	// order. The portfolio backend uses the same knob to bound how many
+	// backends race concurrently.
 	Workers int
+	// Backend names the scheduling backend to dispatch to ("classic",
+	// "rectpack", "portfolio", ...); empty means DefaultBackend. Only the
+	// dispatch layers (ScheduleBackend and everything above it) read this
+	// field — Optimizer.Run itself ignores it and echoes it back.
+	Backend string
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -221,6 +227,10 @@ func New(s *soc.SOC, maxWidth int) (*Optimizer, error) {
 
 // SOC returns the optimizer's SOC.
 func (o *Optimizer) SOC() *soc.SOC { return o.soc }
+
+// MaxWidth returns the per-core width cap the optimizer's caches were
+// built under.
+func (o *Optimizer) MaxWidth() int { return o.maxWidth }
 
 // ParetoSet returns the cached Pareto set of a core (full width cap).
 func (o *Optimizer) ParetoSet(coreID int) *pareto.Set { return o.sets[coreID] }
@@ -721,6 +731,9 @@ func verify(s *soc.SOC, sch *Schedule, design func(*soc.Core, int) (*wrapper.Des
 		IgnoreHierarchy: sch.Params.IgnoreHierarchy,
 	})
 	if err != nil {
+		return err
+	}
+	if err := unknownCore(s, sch); err != nil {
 		return err
 	}
 	intervals := make(map[int][]constraint.Interval)

@@ -1,0 +1,126 @@
+package schedio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/soc"
+)
+
+// fuzzSOC is the SOC every fuzz input is loaded against. demo8 exercises
+// hierarchy, precedence, concurrency, and BIST constraints in a small
+// verification surface.
+func fuzzSOC(tb testing.TB) *soc.SOC {
+	tb.Helper()
+	s, err := bench.ByName("demo8")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// seedSchedules serializes a few real schedules (plain, preemptive,
+// power-constrained, rectpack-style backend echo) as fuzz seeds, so the
+// fuzzer starts from the valid-document neighborhood.
+func seedSchedules(f *testing.F) {
+	s := fuzzSOC(f)
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mp, err := opt.LargerCorePreemptions(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, params := range []sched.Params{
+		{TAMWidth: 16, Percent: 5, Delta: 1},
+		{TAMWidth: 12, Percent: 3, Delta: 0, MaxPreemptions: mp},
+		{TAMWidth: 8, Percent: 5, Delta: 1, PowerMax: sched.DefaultPowerBudget(s, 110)},
+		{TAMWidth: 16, Percent: 5, Delta: 1, Backend: "rectpack"},
+	} {
+		sch, err := opt.Run(params)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, sch); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"soc":"demo8","tamWidth":0}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+}
+
+// FuzzLoadSchedule asserts that Load never panics on arbitrary bytes, and
+// that any input it accepts round-trips byte-identically: Save(Load(x))
+// re-loaded and re-saved yields the same bytes (the canonical form is a
+// fixed point).
+func FuzzLoadSchedule(f *testing.F) {
+	seedSchedules(f)
+	s := fuzzSOC(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sch, err := Load(bytes.NewReader(data), s)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var first bytes.Buffer
+		if err := Save(&first, sch); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		sch2, err := Load(bytes.NewReader(first.Bytes()), s)
+		if err != nil {
+			t.Fatalf("re-Load of saved schedule: %v", err)
+		}
+		var second bytes.Buffer
+		if err := Save(&second, sch2); err != nil {
+			t.Fatalf("re-Save: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Save→Load→Save not a fixed point:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// TestBackendFieldRoundTrip pins the schedio backend annotation: schedules
+// produced by a non-classic backend record it, loaders get it back, and
+// the default classic backend stays invisible on the wire (goldens from
+// before the backend registry are unchanged).
+func TestBackendFieldRoundTrip(t *testing.T) {
+	s := fuzzSOC(t)
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := opt.Run(sched.Params{TAMWidth: 16, Percent: 5, Delta: 1, Backend: "rectpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"backend": "rectpack"`)) {
+		t.Fatalf("saved schedule missing backend annotation:\n%s", buf.Bytes())
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Params.Backend != "rectpack" {
+		t.Fatalf("loaded backend %q, want %q", loaded.Params.Backend, "rectpack")
+	}
+
+	sch.Params.Backend = ""
+	buf.Reset()
+	if err := Save(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"backend"`)) {
+		t.Fatalf("classic schedule leaked a backend field:\n%s", buf.Bytes())
+	}
+}

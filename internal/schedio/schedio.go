@@ -35,13 +35,16 @@ type File struct {
 	Cores []CoreJSON `json:"cores"`
 }
 
-// ParamsJSON mirrors sched.Params (stable field names).
+// ParamsJSON mirrors sched.Params (stable field names). Backend records
+// which scheduling backend produced the schedule; it is omitted for the
+// default classic backend, so pre-backend files and goldens are unchanged.
 type ParamsJSON struct {
-	Percent     int `json:"percent"`
-	Delta       int `json:"delta"`
-	PowerMax    int `json:"powerMax,omitempty"`
-	InsertSlack int `json:"insertSlack"`
-	MaxWidth    int `json:"maxWidth"`
+	Percent     int    `json:"percent"`
+	Delta       int    `json:"delta"`
+	PowerMax    int    `json:"powerMax,omitempty"`
+	InsertSlack int    `json:"insertSlack"`
+	MaxWidth    int    `json:"maxWidth"`
+	Backend     string `json:"backend,omitempty"`
 }
 
 // CoreJSON is one core's assignment.
@@ -75,6 +78,7 @@ func Save(w io.Writer, sch *sched.Schedule) error {
 			PowerMax:    sch.Params.PowerMax,
 			InsertSlack: sch.Params.InsertSlack,
 			MaxWidth:    sch.Params.MaxWidth,
+			Backend:     sch.Params.Backend,
 		},
 		Makespan:   sch.Makespan,
 		DataVolume: sch.DataVolume(),
@@ -152,6 +156,7 @@ func Load(r io.Reader, s *soc.SOC) (*sched.Schedule, error) {
 			PowerMax:    f.Params.PowerMax,
 			InsertSlack: f.Params.InsertSlack,
 			MaxWidth:    f.Params.MaxWidth,
+			Backend:     f.Params.Backend,
 		},
 		Assignments: make(map[int]*sched.Assignment, len(f.Cores)),
 		Makespan:    f.Makespan,

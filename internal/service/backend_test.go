@@ -1,0 +1,121 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func backendTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := New(Config{Preload: []string{"d695"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestScheduleBackendSelection(t *testing.T) {
+	ts := backendTestServer(t)
+	for _, backend := range []string{"rectpack", "portfolio"} {
+		for _, path := range []string{"/v1/schedule", "/v1/schedule/best"} {
+			resp, raw := postJSON(t, ts, path, map[string]any{
+				"soc":    "d695",
+				"params": ParamsJSON{TAMWidth: 32, Workers: 1, Backend: backend},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s backend=%s: HTTP %d: %s", path, backend, resp.StatusCode, raw)
+			}
+			if !bytes.Contains(raw, []byte(`"makespan"`)) {
+				t.Fatalf("%s backend=%s: no makespan in response: %s", path, backend, raw)
+			}
+		}
+	}
+}
+
+// TestScheduleBackendMatchesLibrary pins the service/library differential
+// for the rectpack backend: the HTTP response bytes equal schedio.Save of
+// the library Planner's answer.
+func TestScheduleBackendMatchesLibrary(t *testing.T) {
+	ts := backendTestServer(t)
+	opts := repro.Options{TAMWidth: 32, Workers: 1, Backend: "rectpack"}
+	planner, err := repro.NewPlanner(repro.BenchmarkSOC("d695"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := planner.ScheduleBest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := repro.SaveSchedule(&want, sch); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postJSON(t, ts, "/v1/schedule/best", map[string]any{
+		"soc":    "d695",
+		"params": ParamsJSON{TAMWidth: 32, Workers: 1, Backend: "rectpack"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if !bytes.Equal(want.Bytes(), raw) {
+		t.Fatalf("service bytes differ from library bytes:\nlibrary: %s\nservice: %s", want.Bytes(), raw)
+	}
+}
+
+func TestScheduleUnknownBackend422(t *testing.T) {
+	ts := backendTestServer(t)
+	for _, path := range []string{"/v1/schedule", "/v1/schedule/best", "/v1/gantt"} {
+		resp, raw := postJSON(t, ts, path, map[string]any{
+			"soc":    "d695",
+			"params": ParamsJSON{TAMWidth: 32, Backend: "no-such-backend"},
+		})
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: HTTP %d, want 422: %s", path, resp.StatusCode, raw)
+		}
+		if !strings.Contains(string(raw), "unknown backend") {
+			t.Errorf("%s: error body %s does not name the unknown backend", path, raw)
+		}
+	}
+}
+
+func TestScheduleUnknownPreemptionCore422(t *testing.T) {
+	ts := backendTestServer(t)
+	resp, raw := postJSON(t, ts, "/v1/schedule", map[string]any{
+		"soc":    "d695",
+		"params": ParamsJSON{TAMWidth: 32, MaxPreemptions: map[int]int{9999: 2}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("HTTP %d, want 422: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "unknown core 9999") {
+		t.Fatalf("error body %s does not name the unknown core", raw)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/sched"
 	"repro/internal/socfile"
 )
 
@@ -106,7 +107,10 @@ func (s *Server) Close() { s.jobs.Close() }
 // ---- request/response shapes ----
 
 // ParamsJSON mirrors repro.Options (sched.Params) on the wire. Zero-valued
-// fields take the library defaults, exactly as in the Go API.
+// fields take the library defaults, exactly as in the Go API. Backend
+// selects the scheduling backend ("classic", "rectpack", "portfolio";
+// empty = classic); unknown names are rejected with 422 before any
+// scheduling work starts.
 type ParamsJSON struct {
 	TAMWidth        int         `json:"tamWidth"`
 	MaxWidth        int         `json:"maxWidth,omitempty"`
@@ -118,6 +122,7 @@ type ParamsJSON struct {
 	DisableWidening bool        `json:"disableWidening,omitempty"`
 	IgnoreHierarchy bool        `json:"ignoreHierarchy,omitempty"`
 	Workers         int         `json:"workers,omitempty"`
+	Backend         string      `json:"backend,omitempty"`
 }
 
 // Options converts the wire params to library options.
@@ -133,6 +138,7 @@ func (p ParamsJSON) Options() repro.Options {
 		DisableWidening: p.DisableWidening,
 		IgnoreHierarchy: p.IgnoreHierarchy,
 		Workers:         p.Workers,
+		Backend:         p.Backend,
 	}
 }
 
@@ -181,8 +187,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"GET  /v1/socs",
 			"POST /v1/socs                (.soc text or JSON body)",
 			"GET  /v1/socs/{key}",
-			"POST /v1/schedule            {soc, params}",
-			"POST /v1/schedule/best       {soc, params}",
+			"POST /v1/schedule            {soc, params}        (params.backend: classic|rectpack|portfolio)",
+			"POST /v1/schedule/best       {soc, params}        (params.backend: classic|rectpack|portfolio)",
 			"POST /v1/sweep               {soc, widthLo, widthHi, workers, wait}",
 			"POST /v1/effective           {soc, widthLo, widthHi, gamma, workers}",
 			"POST /v1/gantt               {soc, params, best}",
@@ -270,11 +276,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if !checkParamsWidths(w, req.Params) {
+	if !checkParams(w, req.Params) {
 		return
 	}
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
+		return
+	}
+	if !checkPreemptions(w, planner, req.Params) {
 		return
 	}
 	sch, err := s.runSchedule(r, planner, req.Params.Options(), best)
@@ -289,8 +298,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 	}
 }
 
+// runSchedule dispatches a schedule request: /v1/schedule/best always runs
+// the selected backend's best mode, /v1/schedule does too for non-classic
+// backends (rectpack and portfolio have no single-run (α, δ) grid point to
+// pin), and only the classic default keeps the historical single-run path.
 func (s *Server) runSchedule(r *http.Request, planner *repro.Planner, opts repro.Options, best bool) (*repro.TestSchedule, error) {
-	if best {
+	if best || !sched.IsDefaultBackend(opts.Backend) {
 		return planner.ScheduleBestContext(r.Context(), opts)
 	}
 	return planner.Schedule(opts)
@@ -315,13 +328,44 @@ func checkSweepRange(w http.ResponseWriter, lo, hi int) bool {
 	return true
 }
 
-// checkParamsWidths rejects out-of-range scheduling widths before they
-// reach the scheduler's per-wire allocations (zero values are fine: the
-// library fills its defaults and rejects a missing tamWidth itself).
-func checkParamsWidths(w http.ResponseWriter, p ParamsJSON) bool {
+// checkParams rejects out-of-range scheduling widths before they reach
+// the scheduler's per-wire allocations (zero values are fine: the library
+// fills its defaults and rejects a missing tamWidth itself) and unknown
+// backend names before any scheduling work starts.
+func checkParams(w http.ResponseWriter, p ParamsJSON) bool {
 	if p.TAMWidth < 0 || p.TAMWidth > MaxRequestWidth || p.MaxWidth < 0 || p.MaxWidth > MaxRequestWidth {
 		writeError(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("params widths tamWidth=%d maxWidth=%d outside [0,%d]", p.TAMWidth, p.MaxWidth, MaxRequestWidth))
+		return false
+	}
+	if _, err := sched.BackendByName(p.Backend); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return false
+	}
+	return true
+}
+
+// checkPreemptions rejects preemption budgets keyed by core IDs the SOC
+// does not define — silently ignoring them would let a typo'd request run
+// an entirely different scheduling regime than the caller asked for. The
+// error is the same typed *repro.UnknownCoreError the verifier returns.
+func checkPreemptions(w http.ResponseWriter, planner *repro.Planner, p ParamsJSON) bool {
+	if len(p.MaxPreemptions) == 0 {
+		return true
+	}
+	known := make(map[int]bool)
+	for _, c := range planner.SOC().Cores {
+		known[c.ID] = true
+	}
+	bad := -1
+	for id := range p.MaxPreemptions {
+		if !known[id] && (bad == -1 || id < bad) {
+			bad = id
+		}
+	}
+	if bad != -1 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("maxPreemptions: %w", &repro.UnknownCoreError{CoreID: bad}))
 		return false
 	}
 	return true
@@ -424,11 +468,14 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if !checkParamsWidths(w, req.Params) {
+	if !checkParams(w, req.Params) {
 		return
 	}
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
+		return
+	}
+	if !checkPreemptions(w, planner, req.Params) {
 		return
 	}
 	sch, err := s.runSchedule(r, planner, req.Params.Options(), req.Best)
