@@ -8,6 +8,7 @@ package repro
 // the numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -217,6 +218,32 @@ func BenchmarkSweepBestD695(b *testing.B) {
 		}
 	}
 }
+
+// benchScheduleBackend measures one full d695 W=32 run of a named backend
+// through the registry dispatch path — the same call ScheduleNamed and the
+// service layer make.
+func benchScheduleBackend(b *testing.B, backend string) {
+	s := bench.D695()
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	params := sched.Params{TAMWidth: 32, Workers: 1, Backend: backend}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.ScheduleBackend(ctx, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleD695Rectpack tracks the rectangle bin-packing backend.
+func BenchmarkScheduleD695Rectpack(b *testing.B) { benchScheduleBackend(b, "rectpack") }
+
+// BenchmarkScheduleD695Portfolio tracks the racing meta-backend (which
+// runs every other backend, so it bounds the whole registry's cost).
+func BenchmarkScheduleD695Portfolio(b *testing.B) { benchScheduleBackend(b, "portfolio") }
 
 // BenchmarkParetoSets measures Pareto staircase construction for a full SOC.
 func BenchmarkParetoSets(b *testing.B) {

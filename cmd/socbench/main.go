@@ -180,6 +180,12 @@ func runBenchJSON(path, note string) {
 				}
 			}
 		}},
+		{"ScheduleD695Rectpack", func(b *testing.B) {
+			benchBackend(b, "rectpack")
+		}},
+		{"ScheduleD695Portfolio", func(b *testing.B) {
+			benchBackend(b, "portfolio")
+		}},
 		{"SingleScheduleP93791W48", func(b *testing.B) {
 			s := bench.P93791Like()
 			opt, err := sched.New(s, sched.DefaultMaxWidth)
@@ -267,6 +273,25 @@ func runBenchJSON(path, note string) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
+	}
+}
+
+// benchBackend times one d695 W=32 run of a named registered backend
+// through the registry dispatch path (Workers: 1, like every workload
+// here, so racing backends run their legs sequentially).
+func benchBackend(b *testing.B, backend string) {
+	s := bench.D695()
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	params := sched.Params{TAMWidth: 32, Workers: 1, Backend: backend}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.ScheduleBackend(ctx, params); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,232 @@
+// Command soclint runs the repo's custom static analyzers (package
+// internal/lint) as a `go vet` tool:
+//
+//	go build -o soclint ./cmd/soclint
+//	go vet -vettool=./soclint ./...
+//
+// Invoked with package patterns instead of a vet config file, soclint
+// re-executes `go vet -vettool=<itself>` for convenience, so
+// `go run ./cmd/soclint ./...` and `soclint ./...` both work.
+//
+// The command speaks cmd/go's vettool protocol directly (the -V=full
+// handshake and the JSON vet.cfg unit files go vet hands to the tool) so
+// the analyzers run from a clean offline checkout with no dependencies
+// outside the standard library.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("soclint", flag.ContinueOnError)
+	fs.Usage = usage
+	versionFlag := fs.String("V", "", "print version and exit (go vet handshake: -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print a JSON description of supported flags and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return 0
+	case *flagsFlag:
+		// No analyzer-specific flags beyond -json; go vet queries this
+		// before forwarding user-provided vet flags.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], *jsonFlag)
+	}
+	// Convenience mode: treat the arguments as package patterns and
+	// re-exec go vet with ourselves as the vettool.
+	return runPatterns(rest)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: soclint [packages]\n\nAnalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion implements the `-V=full` handshake: cmd/go requires the
+// line to read "<name> version devel ... buildID=<id>" and caches vet
+// results keyed by the ID, so the ID must change whenever the binary does.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("soclint version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// runPatterns re-executes go vet with this binary as the vettool.
+func runPatterns(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soclint: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "soclint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON unit file cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit described by a vet.cfg file.
+func runUnit(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soclint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "soclint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go runs the tool over dependencies first so fact-based tools
+	// can exchange "vetx" files; soclint keeps no facts, but the output
+	// file must exist for the driver's caching to proceed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("soclint\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "soclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "soclint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: strings.TrimPrefix(cfg.GoVersion, "go version "),
+		Error:     func(error) {}, // collect everything; first error is returned by Check
+	}
+	info := analysis.NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "soclint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soclint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	report(fset, cfg.ImportPath, diags, asJSON)
+	return 2
+}
+
+// report prints diagnostics the way go vet expects: human-readable lines
+// on stderr, or the nested JSON object go vet -json consumes.
+func report(fset *token.FileSet, importPath string, diags []analysis.Diagnostic, asJSON bool) {
+	if !asJSON {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		return
+	}
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out, _ := json.MarshalIndent(map[string]map[string][]jsonDiag{importPath: byAnalyzer}, "", "\t")
+	os.Stdout.Write(out)
+	fmt.Println()
+}

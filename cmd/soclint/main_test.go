@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSoclintRunsCleanOnRepo builds soclint and runs it, through go vet's
+// vettool protocol, over the entire repository: the suite's conventions
+// are enforced, so the repo itself must always lint clean. Skipped in
+// -short mode (CI runs it as a dedicated required step).
+func TestSoclintRunsCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and vetting the whole repo is not a -short test")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "soclint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/soclint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building soclint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool=soclint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,159 @@
+// Package analysis is a minimal, dependency-free sibling of
+// golang.org/x/tools/go/analysis: just enough driver-independent plumbing
+// for the repo-specific soclint analyzers (see package lint) to run over a
+// type-checked package and report position-anchored diagnostics. It exists
+// because this repository builds offline against the standard library
+// alone; the API deliberately mirrors the x/tools shape (Analyzer, Pass,
+// Diagnostic) so the analyzers could be ported to a stock multichecker by
+// changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's short identifier ("detrange", "ctxflow", ...).
+	// It names the analyzer in diagnostics, in the driver's enable/disable
+	// flags, and in //soclint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description; the first line doubles as the
+	// flag usage string in cmd/soclint.
+	Doc string
+	// Run inspects one package and reports findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message states the violation and the expected remedy.
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics: findings in _test.go files and findings suppressed by a
+// "//soclint:allow <analyzer> <reason>" comment (on the finding's line or
+// the line directly above it) are dropped, and the rest are sorted by
+// position. Analyzer errors abort the run — a broken analyzer must fail
+// the build, not silently pass it.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return filter(diags, fset, files), nil
+}
+
+// allowRe matches suppression comments. The analyzer name is mandatory; a
+// trailing justification is strongly encouraged and kept free-form.
+var allowRe = regexp.MustCompile(`^//soclint:allow\s+([a-z]+)\b`)
+
+// filter applies the test-file and suppression-comment policies and sorts.
+func filter(diags []Diagnostic, fset *token.FileSet, files []*ast.File) []Diagnostic {
+	// allowed[analyzer][file] holds the set of line numbers a suppression
+	// comment covers: its own line (trailing comment) and the next line
+	// (comment above the flagged statement).
+	allowed := make(map[string]map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile := allowed[m[1]]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					allowed[m[1]] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(filepath.Base(pos.Filename), "_test.go") {
+			continue
+		}
+		if lines := allowed[d.Analyzer][pos.Filename]; lines[pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// BackendReg enforces the Backend registry discipline:
+//
+//   - sched.RegisterBackend may only be called from an init function.
+//     Registration anywhere else makes backend availability depend on call
+//     order instead of the import graph.
+//   - A backend type's Name() must return a compile-time string constant;
+//     the name is a registry key and a golden-file ingredient, so it can
+//     never be computed.
+//   - Every loop in a backend's Schedule method that does real work (its
+//     body contains a function call) must reference the ctx parameter —
+//     an Err check, a Done select, or forwarding ctx to a callee — so the
+//     portfolio racer's cancellation actually stops it.
+var BackendReg = &analysis.Analyzer{
+	Name: "backendreg",
+	Doc: "enforce Backend registration and cancellation discipline\n\n" +
+		"RegisterBackend only from init; Name() must return a constant; every call-bearing\n" +
+		"loop in a Schedule method must consult its ctx.",
+	Run: runBackendReg,
+}
+
+func runBackendReg(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, fd := range funcDecls(pass.Files) {
+		// Rule 1: RegisterBackend only from init.
+		inInit := fd.Recv == nil && fd.Name.Name == "init"
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegisterBackend(info, call) {
+				return true
+			}
+			// RegisterBackend's own body is not a registration site.
+			if fd.Recv == nil && fd.Name.Name == "RegisterBackend" {
+				return true
+			}
+			if !inInit {
+				pass.Reportf(call.Pos(),
+					"sched.RegisterBackend called from %s; backends must register in init so availability follows the import graph", fd.Name.Name)
+			}
+			return true
+		})
+
+		if fd.Recv == nil || !isBackendType(info, fd) {
+			continue
+		}
+		switch fd.Name.Name {
+		case "Name":
+			checkConstantName(pass, fd)
+		case "Schedule":
+			checkScheduleLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isRegisterBackend reports whether call invokes a function named
+// RegisterBackend declared in a package named sched (selector or local).
+func isRegisterBackend(info *types.Info, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Name() != "RegisterBackend" || fn.Pkg() == nil {
+		return false
+	}
+	return pkgBase(fn.Pkg().Path()) == "sched"
+}
+
+// isBackendType reports whether the method's receiver type has the Backend
+// shape: a Name() string method and a Schedule method whose first
+// parameter is a context.Context.
+func isBackendType(info *types.Info, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	var hasName, hasSchedule bool
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		sig := m.Type().(*types.Signature)
+		switch m.Name() {
+		case "Name":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), types.Typ[types.String]) {
+				hasName = true
+			}
+		case "Schedule":
+			if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+				hasSchedule = true
+			}
+		}
+	}
+	return hasName && hasSchedule
+}
+
+// checkConstantName requires Name() to return a compile-time constant.
+func checkConstantName(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			tv, ok := pass.TypesInfo.Types[res]
+			if !ok || tv.Value == nil {
+				pass.Reportf(res.Pos(),
+					"backend Name() must return a string constant; %s is computed", types.ExprString(res))
+			}
+		}
+		return true
+	})
+}
+
+// checkScheduleLoops requires every call-bearing loop body in Schedule to
+// reference the ctx parameter.
+func checkScheduleLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ctx := ctxParam(info, fd)
+	if ctx == nil {
+		pass.Reportf(fd.Pos(), "backend Schedule method has no context.Context parameter")
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if !loopDoesWork(info, body) || usesObject(info, body, ctx) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"Schedule loop body calls functions but never consults ctx; add a ctx.Err() check so cancellation stops it")
+		return true
+	})
+}
+
+// loopDoesWork reports whether the body contains a non-builtin call.
+func loopDoesWork(info *types.Info, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		// Conversions are not work either.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		work = true
+		return false
+	})
+	return work
+}

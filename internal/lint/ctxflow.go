@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces the context-threading convention below the public API
+// boundary (packages sched, datavol, service, and the module root's
+// api.go):
+//
+//   - context.Background() / context.TODO() may appear only in an exported
+//     function that takes no context.Context itself — that function IS the
+//     boundary (the documented compat wrappers: sched.SweepBest,
+//     datavol.Run, repro.Schedule, ...) — or as the nil-guard idiom
+//     `if ctx == nil { ctx = context.Background() }` that assigns to the
+//     function's own context parameter. Everywhere else a fresh context
+//     severs the caller's cancellation, so it is banned.
+//   - An exported function that spawns goroutines must accept a
+//     context.Context, unless it derives its own cancellable lifecycle
+//     (calls context.WithCancel/WithTimeout/WithDeadline, like a worker
+//     pool constructor paired with a Close method).
+//   - A function that has a context.Context parameter must forward it:
+//     passing a literal nil context to a context-taking callee is flagged.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "enforce context.Context threading below the API boundary\n\n" +
+		"In sched, datavol, service and api.go: no context.Background()/TODO() outside exported\n" +
+		"boundary wrappers or nil-guards, no goroutine-spawning exported APIs without a Context,\n" +
+		"and no literal nil context forwarded from a function that has one.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	base := pkgBase(pass.Pkg.Path())
+	isRoot := pkgPath(pass.Pkg.Path()) == rootPackage
+	if !ctxPackages[base] && !isRoot {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if isRoot {
+			f := fileOf(pass.Files, fd.Pos())
+			if f == nil || filepath.Base(pass.Fset.Position(f.Pos()).Filename) != "api.go" {
+				continue
+			}
+		}
+		checkCtxFlow(pass, fd)
+	}
+	return nil
+}
+
+func checkCtxFlow(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ctx := ctxParam(info, fd)
+	exported := fd.Name.IsExported()
+
+	// Positions of Background()/TODO() calls excused by the nil-guard
+	// idiom: `ctx = context.Background()` assigning to the ctx parameter.
+	nilGuard := make(map[*ast.CallExpr]bool)
+	if ctx != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || info.Uses[lhs] != ctx {
+				return true
+			}
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				nilGuard[call] = true
+			}
+			return true
+		})
+	}
+
+	managesLifecycle := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pkgFunc(info, call, "context"); ok {
+				switch name {
+				case "WithCancel", "WithTimeout", "WithDeadline":
+					managesLifecycle = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := pkgFunc(info, n, "context"); ok && (name == "Background" || name == "TODO") {
+				boundary := exported && ctx == nil
+				if !boundary && !nilGuard[n] {
+					pass.Reportf(n.Pos(),
+						"context.%s() below the API boundary severs the caller's cancellation; thread a context.Context through %s", name, fd.Name.Name)
+				}
+			}
+			checkNilCtxArg(pass, fd, ctx, n)
+		case *ast.GoStmt:
+			if exported && ctx == nil && !managesLifecycle {
+				pass.Reportf(n.Pos(),
+					"exported %s spawns a goroutine but accepts no context.Context; add one (or manage the lifecycle with context.WithCancel and a Close)", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkNilCtxArg flags a literal nil passed in a context.Context argument
+// slot by a function that has its own context to forward.
+func checkNilCtxArg(pass *analysis.Pass, fd *ast.FuncDecl, ctx *types.Var, call *ast.CallExpr) {
+	if ctx == nil {
+		return
+	}
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" || info.Uses[id] != types.Universe.Lookup("nil") {
+			continue
+		}
+		if isContextType(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(),
+				"%s has a context.Context but passes nil to %s; forward ctx instead", fd.Name.Name, types.ExprString(call.Fun))
+		}
+	}
+}

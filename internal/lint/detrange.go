@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetRange flags `range` statements over maps, in the golden-producing
+// packages, whose loop body can imprint the map's (randomized) iteration
+// order onto an output or serialization path: a fmt/encoding/io writer
+// call, or an append into a slice declared outside the loop that is never
+// sorted afterwards. The sanctioned idiom — collect keys, sort, range the
+// sorted slice — passes because the second range is over a slice, and the
+// collection loop passes because its append target is sorted before use.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration whose order can reach an output path in a golden-producing package\n\n" +
+		"Packages schedio, report, corpus, datavol and service produce bytes that are frozen as\n" +
+		"golden files; map iteration order must never influence them. Iterate sorted keys, or\n" +
+		"sort the accumulated slice before it is serialized.",
+	Run: runDetRange,
+}
+
+// orderSinkMethods are method names that serialize their arguments in call
+// order: raw writers, encoders, and the repo's own table builder.
+var orderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteAll":    true,
+	"Encode":      true,
+	"AddRow":      true,
+}
+
+func runDetRange(pass *analysis.Pass) error {
+	if !goldenPackages[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(pass.TypesInfo, rs.X) {
+				return true
+			}
+			checkMapRange(pass, fd, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports the map range if its body reaches an order sink.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// fmt.* in the loop body: formatting is ordered output.
+		if name, ok := pkgFunc(info, call, "fmt"); ok {
+			pass.Reportf(rs.Pos(),
+				"map iteration order reaches fmt.%s; range over sorted keys instead", name)
+			return false
+		}
+		// Writer/encoder method calls are ordered output.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && orderSinkMethods[sel.Sel.Name] {
+			pass.Reportf(rs.Pos(),
+				"map iteration order reaches %s.%s; range over sorted keys instead",
+				types.ExprString(sel.X), sel.Sel.Name)
+			return false
+		}
+		// append into a slice declared outside the loop keeps the map
+		// order alive — unless the slice is sorted after the loop.
+		if b, ok := info.Uses[callIdent(call)].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			target := appendTarget(info, call)
+			if target == nil || declaredWithin(target, rs) {
+				return true
+			}
+			if !sortedAfter(info, fd, rs, target) {
+				pass.Reportf(rs.Pos(),
+					"map iteration order accumulates into %q, which is never sorted before use; sort it after the loop or range over sorted keys",
+					target.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// callIdent returns the call's function identifier, or nil.
+func callIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := call.Fun.(*ast.Ident)
+	return id
+}
+
+// appendTarget resolves the variable receiving an append's first argument.
+func appendTarget(info *types.Info, call *ast.CallExpr) *types.Var {
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// declaredWithin reports whether the object is declared inside the range
+// statement (a per-iteration accumulator carries no cross-key order).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function sorts the accumulator: any sort.* or slices.Sort* call that
+// mentions the object.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		_, isSort := pkgFunc(info, call, "sort")
+		if !isSort {
+			if name, ok := pkgFunc(info, call, "slices"); !ok || !strings.HasPrefix(name, "Sort") {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetRange(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.DetRange}, "detrange")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.CtxFlow}, "ctxflow")
+}
+
+func TestMutexGuard(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.MutexGuard}, "mutexguard")
+}
+
+func TestBackendReg(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.BackendReg}, "backendreg")
+}
+
+func TestDetSeed(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.DetSeed}, "detseed")
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"detrange", "ctxflow", "mutexguard", "backendreg", "detseed"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

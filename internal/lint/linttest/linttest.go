@@ -1,0 +1,211 @@
+// Package linttest runs soclint analyzers over source fixtures, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest: fixture packages
+// live under internal/lint/testdata/src/<root>/..., and a line that should
+// be flagged carries a trailing `// want "regexp"` comment. The runner
+// type-checks each fixture package (fixture-local imports resolve inside
+// the same root; everything else resolves from the standard library's
+// source), applies the analyzers, and fails the test on any unmatched
+// diagnostic or unsatisfied expectation.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads every fixture package under testdata/src/<root> (relative to
+// the calling test's directory) and checks the analyzers' diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, root string) {
+	t.Helper()
+	base := filepath.Join("testdata", "src", root)
+	ld := newLoader(base)
+	dirs, err := fixtureDirs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", base)
+	}
+	for _, dir := range dirs {
+		pkg, err := ld.load(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		diags, err := analysis.Run(analyzers, ld.fset, pkg.files, pkg.pkg, pkg.info)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", dir, err)
+		}
+		checkWants(t, ld.fset, pkg.files, diags)
+	}
+}
+
+// fixtureDirs lists every directory under base that contains .go files,
+// as slash-separated paths relative to base (these double as the fixture
+// packages' import paths).
+func fixtureDirs(base string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.Walk(base, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(base, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// recursively and everything else from the standard library source.
+type loader struct {
+	base   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*loadedPkg
+}
+
+func newLoader(base string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		base:   base,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*loadedPkg{},
+	}
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.base, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at dir (relative to the
+// loader's base), memoized.
+func (ld *loader) load(dir string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[dir]; ok {
+		return p, nil
+	}
+	full := filepath.Join(ld.base, filepath.FromSlash(dir))
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(full, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", full)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(dir, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.loaded[dir] = p
+	return p, nil
+}
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`// want (("[^"]*" ?)+)$`)
+
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+// expectation is one `// want "re"` waiting to be matched.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants cross-checks diagnostics against the fixtures' want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, arg[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

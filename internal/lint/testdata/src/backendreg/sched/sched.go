@@ -1,0 +1,67 @@
+// Package sched mirrors the real backend registry: registration happens
+// in init with constant names, and Schedule loops must be cancellable.
+package sched
+
+import "context"
+
+// Backend mirrors the registry interface.
+type Backend interface {
+	Name() string
+	Schedule(ctx context.Context, n int) error
+}
+
+var registry = map[string]Backend{}
+
+// RegisterBackend mirrors the real registration entry point.
+func RegisterBackend(b Backend) {
+	registry[b.Name()] = b
+}
+
+func work(int) {}
+
+type good struct{}
+
+func (good) Name() string { return "good" }
+
+// Good: the working loop consults ctx; the bookkeeping loop has no calls
+// and needs no cancellation check.
+func (good) Schedule(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+	return nil
+}
+
+func init() {
+	RegisterBackend(good{})
+}
+
+type bad struct {
+	suffix string
+}
+
+// Flagged: a computed registry name.
+func (b bad) Name() string {
+	return "bad" + b.suffix // want "must return a string constant"
+}
+
+// Flagged: the loop does real work but never consults ctx.
+func (bad) Schedule(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ { // want "never consults ctx"
+		work(i)
+	}
+	return nil
+}
+
+// Flagged: registration outside init.
+func setup() {
+	RegisterBackend(bad{}) // want "must register in init"
+}

@@ -1,0 +1,14 @@
+// Package repro mirrors the module root: only api.go is inside the
+// ctxflow boundary there.
+package repro
+
+import "context"
+
+func runCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Flagged: api.go is checked even in the root package.
+func sweep() error {
+	return runCtx(context.Background()) // want "below the API boundary severs"
+}

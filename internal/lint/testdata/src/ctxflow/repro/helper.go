@@ -1,0 +1,8 @@
+package repro
+
+import "context"
+
+// Not api.go: the rest of the root package is outside the boundary.
+func helperElsewhere() error {
+	return runCtx(context.Background())
+}

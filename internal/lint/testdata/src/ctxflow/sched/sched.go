@@ -1,0 +1,77 @@
+// Package sched stands in for a layer below the public API boundary:
+// fresh contexts are banned outside exported boundary wrappers, and
+// goroutine-spawning exported functions must accept a context.
+package sched
+
+import "context"
+
+func runCtx(ctx context.Context, items []int) error {
+	for range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flagged: a fresh context in an unexported helper severs cancellation.
+func runAll(items []int) error {
+	ctx := context.Background() // want "below the API boundary severs"
+	return runCtx(ctx, items)
+}
+
+// Flagged: TODO is no better than Background.
+func runLater(items []int) error {
+	return runCtx(context.TODO(), items) // want "below the API boundary severs"
+}
+
+// Good: an exported function without a ctx parameter IS the boundary.
+func Run(items []int) error {
+	return runCtx(context.Background(), items)
+}
+
+// Good: the nil-guard idiom assigns to the function's own parameter.
+func RunContext(ctx context.Context, items []int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runCtx(ctx, items)
+}
+
+// Flagged: a function holding a context must forward it, not nil.
+func forward(ctx context.Context, items []int) error {
+	return runCtx(nil, items) // want "passes nil to runCtx"
+}
+
+// Flagged: exported goroutine spawner with no context and no lifecycle.
+func Spawn(items []int) {
+	go runCtx(context.Background(), items) // want "spawns a goroutine but accepts no context.Context"
+}
+
+// Pool owns its goroutine's lifecycle via an explicit cancel.
+type Pool struct {
+	cancel context.CancelFunc
+}
+
+// Good: the constructor derives a cancellable context, so the spawned
+// goroutine has a managed lifecycle.
+func NewPool() *Pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{cancel: cancel}
+	go p.run(ctx)
+	return p
+}
+
+func (p *Pool) run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Close stops the pool's goroutine.
+func (p *Pool) Close() {
+	p.cancel()
+}
+
+// Good: unexported spawners are internal plumbing.
+func spawnInternal(ctx context.Context, items []int) {
+	go runCtx(ctx, items)
+}

@@ -1,0 +1,8 @@
+// Package util is outside the ctxflow boundary: fresh contexts are fine.
+package util
+
+import "context"
+
+func freshContext() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,11 @@
+// Package other is outside the golden-producing set, so detrange stays
+// silent even for order-dependent output.
+package other
+
+import "fmt"
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

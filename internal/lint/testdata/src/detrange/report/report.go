@@ -1,0 +1,70 @@
+// Package report stands in for a golden-producing output layer: every map
+// range whose order can reach the serialized bytes must be flagged.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Flagged: formatting inside a map range is ordered output.
+func printAll(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Flagged: writer methods inside a map range are ordered output.
+func writeAll(w io.Writer, m map[string]string) {
+	for _, v := range m { // want "map iteration order reaches w.Write"
+		w.Write([]byte(v))
+	}
+}
+
+// Flagged: the accumulated slice escapes without ever being sorted.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted before use"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Good: the sanctioned collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Good: a per-iteration accumulator carries no cross-key order.
+func lengths(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// Good: order-insensitive reduction, no sink in the body.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Good: an intentional finding suppressed with a justification.
+func debugDump(m map[string]int) {
+	//soclint:allow detrange debug dump is never golden-compared
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,39 @@
+// Package bench stands in for a deterministic package: no wall clock, no
+// global math/rand state, no map-order-dependent sorts.
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Flagged: wall-clock read.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// Flagged: the global math/rand source is randomly seeded.
+func jitter(n int) int {
+	return rand.Intn(n) // want "draws from the global math/rand source"
+}
+
+// Good: an explicitly seeded local source is deterministic.
+func seeded(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}
+
+// Flagged: comparator ties land in randomized map order.
+func rankByScore(names []string, score map[string]int) {
+	sort.Slice(names, func(i, j int) bool { // want "comparator reads a map"
+		return score[names[i]] < score[names[j]]
+	})
+}
+
+// Good: a total order on the elements themselves.
+func rank(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		return names[i] < names[j]
+	})
+}

@@ -1,0 +1,8 @@
+// Package other is outside the deterministic set; the clock is fine here.
+package other
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

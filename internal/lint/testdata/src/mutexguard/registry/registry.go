@@ -1,0 +1,158 @@
+// Package registry exercises every guard flavor mutexguard understands:
+// sibling-field guards, RWMutex read/write asymmetry, package-level mutex
+// guards, and type-qualified guards on structs owned by another struct.
+package registry
+
+import "sync"
+
+// Counter guards a field with a sibling mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Good: deferred unlock holds to the end of the function.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Good: explicit unlock closes the interval after the access.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Flagged: the read happens after the interval closed.
+func (c *Counter) Stale() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "c.n is read without holding mu"
+}
+
+// Flagged: unlocked write.
+func (c *Counter) Reset() {
+	c.n = 0 // want "c.n is written without holding mu"
+}
+
+// Good: the Locked suffix asserts the caller holds the mutex.
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+// Good: a freshly constructed value is invisible to other goroutines.
+func NewCounter(start int) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+// Table guards a map with an RWMutex.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// Good: RLock satisfies a read.
+func (t *Table) Lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Flagged: RLock does not license a write.
+func (t *Table) Put(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want "t.m is written without holding mu"
+}
+
+// Good: a write under the full lock.
+func (t *Table) Set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+var regMu sync.Mutex
+
+// Entry rows are shared through a package-level mutex.
+type Entry struct {
+	hits int // guarded by regMu
+}
+
+// Good: package-level mutex held across the access.
+func bump(e *Entry) {
+	regMu.Lock()
+	e.hits++
+	regMu.Unlock()
+}
+
+// Flagged: no lock at all.
+func peek(e *Entry) int {
+	return e.hits // want "e.hits is read without holding regMu"
+}
+
+var (
+	poolMu sync.Mutex
+	pool   = map[string]int{} // guarded by poolMu
+)
+
+// Good: an annotated package-level variable accessed under its mutex.
+func add(k string) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	pool[k]++
+}
+
+// Flagged: the package-level variable is touched without its mutex.
+func size() int {
+	return len(pool) // want "pool is read without holding poolMu"
+}
+
+// Registry owns entries; entry fields use the owner's lock.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // guarded by mu
+}
+
+type entry struct {
+	val int // guarded by Registry.mu
+}
+
+// Good: the entry is touched under the owning registry's lock.
+func (r *Registry) Set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[k]
+	if !ok {
+		e = &entry{}
+		r.entries[k] = e
+	}
+	e.val = v
+}
+
+// Flagged: a bare entry access has no registry lock in sight.
+func drain(e *entry) int {
+	return e.val // want "e.val is read without holding Registry.mu"
+}
+
+// Good: an early-return branch unlocks before leaving; accesses after the
+// branch are still inside the lock's extent.
+func (r *Registry) Len(fast bool) int {
+	r.mu.Lock()
+	if fast {
+		n := len(r.entries)
+		r.mu.Unlock()
+		return n
+	}
+	n := 0
+	for range r.entries {
+		n++
+	}
+	r.mu.Unlock()
+	return n
+}

@@ -100,6 +100,9 @@ func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched
 
 	cores := make([]*packCore, 0, len(s.Cores))
 	for _, c := range s.Cores {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		set, err := opt.ParetoSet(c.ID).Capped(wmax)
 		if err != nil {
 			return nil, err

@@ -36,7 +36,7 @@ var ErrUnknownBackend = errors.New("sched: unknown backend")
 
 var (
 	backendMu  sync.RWMutex
-	backendsBy = make(map[string]Backend)
+	backendsBy = make(map[string]Backend) // guarded by backendMu
 )
 
 // RegisterBackend adds a backend to the global registry. It panics on an
@@ -140,6 +140,9 @@ func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Par
 	names := Backends()
 	racers := make([]Backend, 0, len(names))
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if name == "portfolio" {
 			continue
 		}
@@ -185,6 +188,7 @@ func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Par
 		}
 	}
 	if best == nil {
+		//soclint:allow backendreg terminal error scan; the race is already over
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("sched: portfolio: every backend failed; %s: %w", racers[i].Name(), err)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestSweepBestDedupMatchesFullGrid(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s W=%d workers=%d: %v", name, w, workers, err)
 				}
-				want, err := opt.sweepBestRef(p, detPercents, detDeltas)
+				want, err := opt.sweepBestRef(context.Background(), p, detPercents, detDeltas)
 				if err != nil {
 					t.Fatalf("%s W=%d workers=%d (ref): %v", name, w, workers, err)
 				}
@@ -85,7 +86,7 @@ func TestSweepBestDedupEveryPointFails(t *testing.T) {
 		for _, workers := range []int{1, 4} {
 			p := Params{TAMWidth: 32, PowerMax: 1, Workers: workers}
 			_, gotErr := opt.SweepBest(p, detPercents, detDeltas)
-			_, wantErr := opt.sweepBestRef(p, detPercents, detDeltas)
+			_, wantErr := opt.sweepBestRef(context.Background(), p, detPercents, detDeltas)
 			if gotErr == nil || wantErr == nil {
 				t.Fatalf("%s workers=%d: expected both paths to fail, got %v / %v", name, workers, gotErr, wantErr)
 			}

@@ -848,13 +848,13 @@ func (o *Optimizer) SweepBestContext(ctx context.Context, params Params, percent
 
 // sweepBestRef is the pre-deduplication sweep: every grid point runs. It
 // is retained as the differential-testing oracle for SweepBest.
-func (o *Optimizer) sweepBestRef(params Params, percents, deltas []int) (*Schedule, error) {
+func (o *Optimizer) sweepBestRef(ctx context.Context, params Params, percents, deltas []int) (*Schedule, error) {
 	grid := buildGrid(params, percents, deltas)
 	all := make([]int, len(grid))
 	for i := range all {
 		all[i] = i
 	}
-	return o.runGridBest(context.Background(), params.Workers, grid, all)
+	return o.runGridBest(ctx, params.Workers, grid, all)
 }
 
 // buildGrid expands params and the percent/delta (and, when unset, slack)

@@ -41,12 +41,12 @@ var ErrClosed = errors.New("service: job pool closed")
 type Job struct {
 	id      string
 	kind    string
-	state   JobState
-	result  any
-	err     error
+	state   JobState // guarded by Jobs.mu
+	result  any      // guarded by Jobs.mu
+	err     error    // guarded by Jobs.mu
 	created time.Time
-	started time.Time
-	ended   time.Time
+	started time.Time // guarded by Jobs.mu
+	ended   time.Time // guarded by Jobs.mu
 	cancel  context.CancelFunc
 	ctx     context.Context
 	run     func(context.Context) (any, error)
@@ -77,12 +77,12 @@ type JobStatus struct {
 // safe for concurrent use.
 type Jobs struct {
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // creation order, for retention pruning
+	jobs     map[string]*Job // guarded by mu
+	order    []string        // guarded by mu; creation order, for retention pruning
 	queue    chan *Job
-	seq      int64
+	seq      int64 // guarded by mu
 	retained int
-	closed   bool
+	closed   bool // guarded by mu
 	baseCtx  context.Context
 	stopAll  context.CancelFunc
 	wg       sync.WaitGroup

@@ -36,24 +36,26 @@ var ErrUnknownSOC = fmt.Errorf("service: unknown SOC")
 // forgotten. All methods are safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
-	capacity int
-	socs     map[string]*soc.SOC // fingerprint → validated, registry-owned SOC
-	names    map[string]string   // SOC name → fingerprint (last upload wins)
-	planners map[string]*plannerEntry
-	lru      *list.List // of *plannerEntry; front = most recently used
+	capacity int                      // immutable after NewRegistry
+	socs     map[string]*soc.SOC      // guarded by mu; fingerprint → validated, registry-owned SOC
+	names    map[string]string        // guarded by mu; SOC name → fingerprint (last upload wins)
+	planners map[string]*plannerEntry // guarded by mu
+	lru      *list.List               // guarded by mu; of *plannerEntry; front = most recently used
 
 	builds    atomic.Int64
 	evictions atomic.Int64
 }
 
-// plannerEntry is one singleflight-guarded Planner slot.
+// plannerEntry is one singleflight-guarded Planner slot. The builder
+// publishes planner and err before closing ready, so waiters that block on
+// ready may read them lock-free afterwards.
 type plannerEntry struct {
 	fp      string
-	ready   chan struct{} // closed once the build finished
-	done    bool          // build finished (guarded by Registry.mu)
-	planner *repro.Planner
-	err     error
-	elem    *list.Element
+	ready   chan struct{}  // closed once the build finished
+	done    bool           // guarded by Registry.mu; build finished
+	planner *repro.Planner // guarded by Registry.mu
+	err     error          // guarded by Registry.mu
+	elem    *list.Element  // guarded by Registry.mu
 }
 
 // NewRegistry returns a registry bounding its Planner cache to capacity
