@@ -7,7 +7,8 @@
 // Usage:
 //
 //	socserved [-addr :8080] [-planners 32] [-job-workers N]
-//	          [-job-queue 64] [-jobs-retained 256] [-preload all] [-quiet]
+//	          [-job-queue 64] [-jobs-retained 256] [-queue-wait 30s]
+//	          [-max-concurrent 64] [-max-timeout 60s] [-preload all] [-quiet]
 //
 // See the README's "Running as a service" section for curl examples.
 package main
@@ -30,13 +31,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		planners = flag.Int("planners", service.DefaultPlannerCapacity, "max Planners held in the LRU (one per SOC fingerprint)")
-		workers  = flag.Int("job-workers", runtime.GOMAXPROCS(0), "async job worker pool size")
-		queue    = flag.Int("job-queue", service.DefaultJobQueue, "max queued async jobs before 503")
-		retained = flag.Int("jobs-retained", service.DefaultJobRetained, "max finished jobs retained for polling")
-		preload  = flag.String("preload", "all", "comma-separated built-in SOCs to register at startup (\"all\", \"\" for none)")
-		quiet    = flag.Bool("quiet", false, "suppress request logging")
+		addr      = flag.String("addr", ":8080", "listen address")
+		planners  = flag.Int("planners", service.DefaultPlannerCapacity, "max Planners held in the LRU (one per SOC fingerprint)")
+		workers   = flag.Int("job-workers", runtime.GOMAXPROCS(0), "async job worker pool size")
+		queue     = flag.Int("job-queue", service.DefaultJobQueue, "max queued async jobs before 429")
+		retained  = flag.Int("jobs-retained", service.DefaultJobRetained, "max finished jobs retained for polling")
+		queueWait = flag.Duration("queue-wait", service.DefaultJobQueueWait, "fail async jobs still queued after this long (negative: no deadline)")
+		maxConc   = flag.Int("max-concurrent", service.DefaultMaxConcurrent, "max scheduling requests in flight before shedding with 429")
+		maxTO     = flag.Duration("max-timeout", service.DefaultMaxTimeout, "cap on per-request deadlines (params.timeoutMs may shorten, never extend)")
+		preload   = flag.String("preload", "all", "comma-separated built-in SOCs to register at startup (\"all\", \"\" for none)")
+		quiet     = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
 
@@ -57,6 +61,9 @@ func main() {
 		JobWorkers:      *workers,
 		JobQueue:        *queue,
 		JobRetained:     *retained,
+		JobQueueWait:    *queueWait,
+		MaxConcurrent:   *maxConc,
+		MaxTimeout:      *maxTO,
 		Preload:         names,
 		Logger:          reqLog,
 	})
@@ -80,6 +87,7 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	logger.Print("shutting down")
+	svc.BeginDrain() // flip /readyz to 503 so the load balancer stops routing here
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/resil"
 )
 
 func main() {
@@ -97,29 +99,43 @@ func jsonBody(v any) []byte {
 	return b
 }
 
-func post(url, contentType string, body []byte, out any) {
-	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+// do issues one request and decodes the response, retrying dial failures,
+// 429 sheds (socserved's admission control answers those with Retry-After),
+// and 5xx responses with jittered backoff before giving up.
+func do(url string, req func() (*http.Response, error), out any) {
+	_, err := resil.Retry(context.Background(), resil.RetryConfig{
+		Attempts: 5,
+		Base:     100 * time.Millisecond,
+	}, func(context.Context) (struct{}, error) {
+		resp, err := req()
+		if err != nil {
+			return struct{}{}, resil.Transient(fmt.Errorf("%s: %v (is socserved running?)", url, err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(resp.Body)
+			err := fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, msg)
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+				return struct{}{}, resil.Transient(err)
+			}
+			return struct{}{}, err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return struct{}{}, fmt.Errorf("%s: decode: %v", url, err)
+		}
+		return struct{}{}, nil
+	})
 	if err != nil {
-		log.Fatalf("POST %s: %v (is socserved running?)", url, err)
+		log.Fatal(err)
 	}
-	decode(url, resp, out)
+}
+
+func post(url, contentType string, body []byte, out any) {
+	do(url, func() (*http.Response, error) {
+		return http.Post(url, contentType, bytes.NewReader(body))
+	}, out)
 }
 
 func get(url string, out any) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatalf("GET %s: %v", url, err)
-	}
-	decode(url, resp, out)
-}
-
-func decode(url string, resp *http.Response, out any) {
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(resp.Body)
-		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, msg)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		log.Fatalf("%s: decode: %v", url, err)
-	}
+	do(url, func() (*http.Response, error) { return http.Get(url) }, out)
 }

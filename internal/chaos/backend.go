@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Act is one scripted behavior of a chaos.Backend call. The zero value
+// (ModeOK) passes the call through to the wrapped backend.
+type Act struct {
+	// Mode is what this call does before (ModeDelay) or instead of
+	// (ModeError, ModePanic, ModeHang) running the wrapped backend.
+	Mode Mode
+	// Delay is the stall for ModeDelay.
+	Delay time.Duration
+	// Until, when non-nil, bounds a ModeHang: the hang releases (and the
+	// call passes through) when Until is closed. A nil Until hangs with no
+	// escape hatch at all — not even context cancellation — which is
+	// exactly the misbehaving racer the portfolio's per-racer deadline
+	// must survive.
+	Until <-chan struct{}
+}
+
+// Backend turns any scheduling backend into a flaky, slow, panicking, or
+// hanging one for tests: each call consumes the next scripted Act; an
+// exhausted script passes through, so "fail K times, then recover" —
+// the circuit-breaker lifecycle — is Script(Act{Mode: ModeError}, ...K).
+//
+// The type is generic over the scheduler's optimizer/params/schedule types
+// because this package must not import the sched package (whose hot paths
+// call Inject — the import back would cycle). Instantiated as
+//
+//	chaos.Backend[*sched.Optimizer, sched.Params, *sched.Schedule]
+//
+// it satisfies sched.Backend and can be registered like any other backend.
+type Backend[Opt, P, S any] struct {
+	// BackendName is the registry name the wrapper answers to.
+	BackendName string
+	// Inner runs the wrapped backend (typically inner.Schedule). A nil
+	// Inner fails every passed-through call with an *InjectedError.
+	Inner func(ctx context.Context, opt Opt, params P) (S, error)
+
+	mu     sync.Mutex
+	script []Act // guarded by mu; consumed front-first, one Act per call
+	calls  int   // guarded by mu
+}
+
+// Script appends acts to the call script.
+func (b *Backend[Opt, P, S]) Script(acts ...Act) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.script = append(b.script, acts...)
+}
+
+// Calls returns how many times Schedule was invoked.
+func (b *Backend[Opt, P, S]) Calls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.calls
+}
+
+// Name returns the wrapper's registry name.
+//
+//soclint:allow backendreg chaos wrappers are named per test fixture, not per type
+func (b *Backend[Opt, P, S]) Name() string { return b.BackendName }
+
+// Schedule performs the next scripted Act, then (for ModeOK and ModeDelay,
+// or a ModeHang released by Until) delegates to Inner.
+func (b *Backend[Opt, P, S]) Schedule(ctx context.Context, opt Opt, params P) (S, error) {
+	var zero S
+	b.mu.Lock()
+	b.calls++
+	var act Act
+	if len(b.script) > 0 {
+		act, b.script = b.script[0], b.script[1:]
+	}
+	b.mu.Unlock()
+
+	switch act.Mode {
+	case ModeError:
+		return zero, &InjectedError{Site: b.BackendName}
+	case ModePanic:
+		panic(fmt.Sprintf("chaos: injected panic in backend %s", b.BackendName))
+	case ModeDelay:
+		t := time.NewTimer(act.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	case ModeHang:
+		if act.Until == nil {
+			// Deliberately ignores ctx: simulates a backend stuck in a
+			// tight loop that never consults its context.
+			select {}
+		}
+		<-act.Until
+	}
+	if b.Inner == nil {
+		return zero, &InjectedError{Site: b.BackendName}
+	}
+	return b.Inner(ctx, opt, params)
+}

@@ -28,6 +28,10 @@ type Analyzer struct {
 	// Doc is a one-paragraph description; the first line doubles as the
 	// flag usage string in cmd/soclint.
 	Doc string
+	// IncludeTests keeps this analyzer's findings in _test.go files, which
+	// the filter otherwise drops. Set it on analyzers whose rules are
+	// specifically about what test code may do (failpoint).
+	IncludeTests bool
 	// Run inspects one package and reports findings through pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -70,7 +74,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // the build, not silently pass it.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	includeTests := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		includeTests[a.Name] = a.IncludeTests
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -83,7 +89,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
-	return filter(diags, fset, files), nil
+	return filter(diags, fset, files, includeTests), nil
 }
 
 // allowRe matches suppression comments. The analyzer name is mandatory; a
@@ -91,7 +97,8 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 var allowRe = regexp.MustCompile(`^//soclint:allow\s+([a-z]+)\b`)
 
 // filter applies the test-file and suppression-comment policies and sorts.
-func filter(diags []Diagnostic, fset *token.FileSet, files []*ast.File) []Diagnostic {
+// Analyzers in includeTests keep their _test.go findings.
+func filter(diags []Diagnostic, fset *token.FileSet, files []*ast.File, includeTests map[string]bool) []Diagnostic {
 	// allowed[analyzer][file] holds the set of line numbers a suppression
 	// comment covers: its own line (trailing comment) and the next line
 	// (comment above the flagged statement).
@@ -122,7 +129,7 @@ func filter(diags []Diagnostic, fset *token.FileSet, files []*ast.File) []Diagno
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if strings.HasSuffix(filepath.Base(pos.Filename), "_test.go") {
+		if !includeTests[d.Analyzer] && strings.HasSuffix(filepath.Base(pos.Filename), "_test.go") {
 			continue
 		}
 		if lines := allowed[d.Analyzer][pos.Filename]; lines[pos.Line] {

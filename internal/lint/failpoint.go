@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Failpoint enforces the chaos failpoint discipline:
+//
+//   - chaos.Inject/InjectContext sites belong in production code only.
+//     A failpoint in a _test.go file tests nothing that ships; tests arm
+//     plans against the sites compiled into the real paths instead.
+//   - Site names passed to Inject, InjectContext, and RegisterSites must
+//     be compile-time string constants, so the set of failpoints is
+//     statically enumerable — a chaos plan can be validated against the
+//     registry without executing any code path first.
+//
+// The chaos package itself is exempt: it implements the machinery and its
+// own tests necessarily exercise dynamic names.
+var Failpoint = &analysis.Analyzer{
+	Name: "failpoint",
+	Doc: "enforce chaos failpoint discipline\n\n" +
+		"chaos.Inject sites only in non-test files; site names passed to Inject,\n" +
+		"InjectContext, and RegisterSites must be compile-time string constants.",
+	IncludeTests: true,
+	Run:          runFailpoint,
+}
+
+func runFailpoint(pass *analysis.Pass) error {
+	if pkgBase(pass.Pkg.Path()) == "chaos" {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		inTest := isTestFile(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := chaosFunc(info, call)
+			if !ok {
+				return true
+			}
+			// siteArgs indexes the site-name arguments per chaos function.
+			var siteArgs []int
+			switch name {
+			case "Inject":
+				siteArgs = []int{0}
+			case "InjectContext":
+				siteArgs = []int{1}
+			case "RegisterSites":
+				for i := range call.Args {
+					siteArgs = append(siteArgs, i)
+				}
+			default:
+				return true
+			}
+			if inTest && name != "RegisterSites" {
+				pass.Reportf(call.Pos(),
+					"chaos.%s in a test file; failpoints belong in production code — arm a chaos.Plan against a compiled-in site instead", name)
+			}
+			for _, i := range siteArgs {
+				if i >= len(call.Args) {
+					continue // ellipsis call or type error; the compiler owns it
+				}
+				arg := call.Args[i]
+				if tv, ok := info.Types[arg]; !ok || tv.Value == nil {
+					pass.Reportf(arg.Pos(),
+						"chaos.%s site name %s is not a compile-time string constant; the failpoint registry must be statically enumerable", name, types.ExprString(arg))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// chaosFunc reports whether the call invokes a function declared in a
+// package named chaos, returning the function name.
+func chaosFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "chaos" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isTestFile reports whether the file's name ends in _test.go.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.FileStart).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -17,6 +17,8 @@
 //     names, and Backend.Schedule loops must be cancellable.
 //   - detseed: no wall clock, global math/rand, or map-dependent unstable
 //     sorts in deterministic packages.
+//   - failpoint: chaos.Inject sites only in non-test files, with
+//     compile-time constant site names.
 //
 // A finding that is intentional is suppressed in place with
 // "//soclint:allow <analyzer> <why>" on the same line or the line above;
@@ -40,6 +42,7 @@ func Analyzers() []*analysis.Analyzer {
 		MutexGuard,
 		BackendReg,
 		DetSeed,
+		Failpoint,
 	}
 }
 

@@ -28,8 +28,12 @@ func TestDetSeed(t *testing.T) {
 	linttest.Run(t, []*analysis.Analyzer{lint.DetSeed}, "detseed")
 }
 
+func TestFailpoint(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.Failpoint}, "failpoint")
+}
+
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"detrange", "ctxflow", "mutexguard", "backendreg", "detseed"}
+	want := []string{"detrange", "ctxflow", "mutexguard", "backendreg", "detseed", "failpoint"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,34 @@
+// Package app exercises the failpoint rules in a production package:
+// site names must be compile-time string constants.
+package app
+
+import (
+	"context"
+
+	"chaos"
+)
+
+const siteRun = "app/run"
+
+const sitePrefix = "app/"
+
+// Good: constant site names, including constant-folded concatenation.
+func init() {
+	chaos.RegisterSites(siteRun, sitePrefix+"other")
+}
+
+func run(ctx context.Context) error {
+	if err := chaos.Inject(siteRun); err != nil {
+		return err
+	}
+	return chaos.InjectContext(ctx, sitePrefix+"other")
+}
+
+// Bad: computed site names make the registry impossible to enumerate
+// statically.
+func dynamic(ctx context.Context, name string) {
+	_ = chaos.Inject(name)                       // want "not a compile-time string constant"
+	_ = chaos.Inject(sitePrefix + name)          // want "not a compile-time string constant"
+	_ = chaos.InjectContext(ctx, name)           // want "not a compile-time string constant"
+	chaos.RegisterSites(siteRun, name, "app/ok") // want "not a compile-time string constant"
+}

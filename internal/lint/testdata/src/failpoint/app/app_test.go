@@ -1,0 +1,13 @@
+package app
+
+import (
+	"context"
+
+	"chaos"
+)
+
+// Bad: failpoints compiled into test files test nothing that ships.
+func testOnlyFailpoints(ctx context.Context) {
+	_ = chaos.Inject(siteRun)           // want "in a test file"
+	_ = chaos.InjectContext(ctx, "app") // want "in a test file"
+}

@@ -1,0 +1,28 @@
+// Package chaos mirrors the real failpoint registry. The failpoint
+// analyzer exempts the chaos package itself — its implementation and
+// tests necessarily handle dynamic site names.
+package chaos
+
+import "context"
+
+var sites = map[string]bool{}
+
+// RegisterSites mirrors the real registration entry point; inside the
+// chaos package, dynamic names are fine.
+func RegisterSites(names ...string) {
+	for _, n := range names {
+		sites[n] = true
+	}
+}
+
+// Inject mirrors the real failpoint hook.
+func Inject(name string) error {
+	_ = sites[name]
+	return nil
+}
+
+// InjectContext mirrors the context-aware failpoint hook.
+func InjectContext(ctx context.Context, name string) error {
+	_ = ctx
+	return Inject(name)
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/constraint"
 	"repro/internal/pareto"
 	"repro/internal/rect"
@@ -32,6 +33,10 @@ import (
 
 // Name is the backend's registry name.
 const Name = "rectpack"
+
+// siteSchedule is the failpoint the chaos suite arms to make this backend
+// fail, stall, or hang inside a portfolio race.
+const siteSchedule = "rectpack/schedule"
 
 // Backend is the rectangle bin-packing backend. The zero value is ready to
 // use; it is stateless and safe for concurrent use.
@@ -77,6 +82,9 @@ type packCore struct {
 func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched.Params) (*sched.Schedule, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := chaos.InjectContext(ctx, siteSchedule); err != nil {
+		return nil, err
 	}
 	params = params.Defaults()
 	if params.TAMWidth < 1 {
@@ -335,4 +343,5 @@ func emit(opt *sched.Optimizer, params sched.Params, res *result) (*sched.Schedu
 
 func init() {
 	sched.RegisterBackend(New())
+	chaos.RegisterSites(siteSchedule)
 }

@@ -1,0 +1,315 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for Breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+// TestBreakerQuarantineAndHalfOpenReadmission is the acceptance-criteria
+// lifecycle: K consecutive failures quarantine, cooldown leads to a single
+// half-open probe, a successful probe re-admits fully.
+func TestBreakerQuarantineAndHalfOpenReadmission(t *testing.T) {
+	b, clk := newTestBreaker(3, time.Minute)
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must start closed and admitting")
+	}
+	// Two failures, then a success: streak resets, still closed.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("streak below threshold must stay closed")
+	}
+	// Third consecutive failure: quarantine.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after %d consecutive failures = %v, want open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	// Cooldown not yet elapsed: still rejecting.
+	clk.advance(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call 1s before cooldown expiry")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown Allow = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second call while probe in flight")
+	}
+
+	// Failed probe: re-open for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	clk.advance(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after second cooldown")
+	}
+
+	// Successful probe: fully re-admitted.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("re-closed breaker must admit freely")
+		}
+	}
+	// And the failure streak restarted from zero.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("recovery must reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for want, s := range map[string]BreakerState{
+		"closed":    BreakerClosed,
+		"open":      BreakerOpen,
+		"half-open": BreakerHalfOpen,
+		"unknown":   BreakerState(99),
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestBreakerThresholdFloor(t *testing.T) {
+	b, _ := newTestBreaker(0, time.Minute)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Error("threshold < 1 must behave as 1")
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := NewSemaphore(2)
+	if s.Cap() != 2 || s.InUse() != 0 {
+		t.Fatalf("fresh semaphore cap=%d inuse=%d", s.Cap(), s.InUse())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire under capacity failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire over capacity succeeded")
+	}
+	if s.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", s.InUse())
+	}
+
+	// Acquire blocks until a slot frees, and respects cancellation.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire on full semaphore = %v, want DeadlineExceeded", err)
+	}
+	s.Release()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire with a free slot: %v", err)
+	}
+
+	s.Release()
+	s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced Release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreCapFloor(t *testing.T) {
+	if got := NewSemaphore(0).Cap(); got != 1 {
+		t.Errorf("NewSemaphore(0).Cap() = %d, want 1", got)
+	}
+}
+
+// tempErr implements the Temporary() convention like chaos.InjectedError.
+type tempErr struct{ temp bool }
+
+func (e *tempErr) Error() string   { return "tempErr" }
+func (e *tempErr) Temporary() bool { return e.temp }
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), false},
+		{ErrTransient, true},
+		{Transient(errors.New("flaky")), true},
+		{fmt.Errorf("outer: %w", Transient(errors.New("flaky"))), true},
+		{&tempErr{temp: true}, true},
+		{&tempErr{temp: false}, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	inner := errors.New("flaky")
+	if !errors.Is(Transient(inner), inner) {
+		t.Error("Transient must preserve the wrapped error chain")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Attempts: 5,
+		Base:     10 * time.Millisecond,
+		Max:      40 * time.Millisecond,
+		Seed:     1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	v, err := Retry(context.Background(), cfg, func(ctx context.Context) (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, Transient(errors.New("flaky"))
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Retry = (%d, %v), want (42, nil)", v, err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 calls with 2 backoffs", calls, len(slept))
+	}
+	for i, d := range slept {
+		if maxD := time.Duration(10<<i) * time.Millisecond; d < 0 || d > maxD {
+			t.Errorf("backoff %d = %v outside [0, %v]", i, d, maxD)
+		}
+	}
+}
+
+func TestRetryBackoffDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		cfg := RetryConfig{
+			Attempts: 6,
+			Seed:     seed,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				return nil
+			},
+		}
+		_, _ = Retry(context.Background(), cfg, func(ctx context.Context) (int, error) {
+			return 0, ErrTransient
+		})
+		return slept
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) != 5 {
+		t.Fatalf("6 attempts should back off 5 times, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent")
+	_, err := Retry(context.Background(), RetryConfig{Attempts: 5}, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("Retry on permanent error: calls=%d err=%v, want 1 call", calls, err)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	cfg := RetryConfig{Attempts: 4, Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	_, err := Retry(context.Background(), cfg, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, Transient(fmt.Errorf("attempt %d", calls))
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if err == nil || err.Error() != "attempt 4" {
+		t.Fatalf("Retry must report the last error, got %v", err)
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	boom := errors.New("boom")
+	_, err := Retry(ctx, RetryConfig{Attempts: 10, Base: time.Millisecond}, func(ctx context.Context) (int, error) {
+		calls++
+		cancel() // dies mid-flight; Retry must not try again
+		return 0, Transient(boom)
+	})
+	if calls != 1 {
+		t.Fatalf("Retry after ctx cancel made %d calls, want 1", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the underlying failure", err)
+	}
+}
+
+// TestRetryRealBackoffSleep exercises the production sleep path (no Sleep
+// override): one transient failure, then success after a 1ms backoff.
+func TestRetryRealBackoffSleep(t *testing.T) {
+	calls := 0
+	v, err := Retry(context.Background(), RetryConfig{Attempts: 2, Base: time.Millisecond},
+		func(context.Context) (string, error) {
+			calls++
+			if calls == 1 {
+				return "", Transient(errors.New("flaky"))
+			}
+			return "ok", nil
+		})
+	if err != nil || v != "ok" || calls != 2 {
+		t.Fatalf("Retry = (%q, %v) after %d calls, want (\"ok\", nil) after 2", v, err, calls)
+	}
+}

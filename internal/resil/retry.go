@@ -1,0 +1,138 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrTransient marks an error as retryable when wrapped with Transient (or
+// matched with errors.Is). Errors exposing a Temporary() bool method — the
+// net.Error convention, also implemented by chaos.InjectedError — are
+// recognized without the wrapper.
+var ErrTransient = errors.New("transient error")
+
+// transientErr pairs an error with the ErrTransient marker.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// Is reports a match for ErrTransient so errors.Is(Transient(err),
+// ErrTransient) holds without losing the original error chain.
+func (e *transientErr) Is(target error) bool { return target == ErrTransient }
+
+// Transient wraps err so IsTransient (and errors.Is against ErrTransient)
+// reports it retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is worth retrying: explicitly marked via
+// Transient/ErrTransient, or exposing Temporary() == true anywhere in its
+// chain. Context cancellation and deadline errors are never transient —
+// retrying them would outlive the caller's budget.
+func IsTransient(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	return errors.As(err, &tmp) && tmp.Temporary()
+}
+
+// RetryConfig shapes a Retry loop. The zero value means 3 attempts, 10ms
+// base backoff doubling up to 1s, full jitter from a Seed-seeded generator,
+// and IsTransient as the retry predicate.
+type RetryConfig struct {
+	// Attempts is the total number of tries including the first (min 1;
+	// 0 means 3).
+	Attempts int
+	// Base is the backoff before the second attempt (0 means 10ms); each
+	// subsequent backoff doubles, capped at Max.
+	Base time.Duration
+	// Max caps a single backoff (0 means 1s).
+	Max time.Duration
+	// Seed seeds the jitter generator, keeping backoff schedules
+	// reproducible in tests.
+	Seed int64
+	// Retryable decides whether an error is worth another attempt
+	// (nil means IsTransient).
+	Retryable func(error) bool
+	// Sleep replaces the backoff sleep (tests only); it must respect ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn up to cfg.Attempts times with jittered exponential backoff
+// between attempts, returning fn's first success. It stops early — returning
+// the last error — when the error is not retryable or ctx is done. The
+// jitter is full jitter (uniform in [0, backoff]) from a generator seeded
+// with cfg.Seed, so a given seed yields one reproducible schedule.
+func Retry[T any](ctx context.Context, cfg RetryConfig, fn func(ctx context.Context) (T, error)) (T, error) {
+	attempts := cfg.Attempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	base := cfg.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxBackoff := cfg.Max
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	retryable := cfg.Retryable
+	if retryable == nil {
+		retryable = IsTransient
+	}
+	doSleep := cfg.Sleep
+	if doSleep == nil {
+		doSleep = sleep
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var zero T
+	var err error
+	backoff := base
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			jittered := time.Duration(rng.Int63n(int64(backoff) + 1))
+			if serr := doSleep(ctx, jittered); serr != nil {
+				return zero, err // ctx expired mid-backoff; report the last real failure
+			}
+			if backoff < maxBackoff {
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
+		}
+		var v T
+		if v, err = fn(ctx); err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			return zero, err
+		}
+	}
+	return zero, err
+}

@@ -1,0 +1,58 @@
+package resil
+
+import "context"
+
+// Semaphore is counting-semaphore admission control: at most Cap calls in
+// flight, with a non-blocking TryAcquire for load shedding (reject with 429
+// rather than queue) and a context-aware Acquire for callers that prefer to
+// wait. The zero value admits nothing; call NewSemaphore.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore admitting up to n concurrent holders.
+// An n < 1 is treated as 1.
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot if one is free, without blocking. Callers that
+// get false should shed the request (the service answers 429 Retry-After).
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks for a slot until ctx is done, returning ctx's error if
+// cancelled first.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by TryAcquire or Acquire. Releasing more
+// than was acquired panics: it is always a caller bug.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("resil: Semaphore.Release without a matching Acquire")
+	}
+}
+
+// InUse returns how many slots are currently held.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// Cap returns the semaphore's capacity.
+func (s *Semaphore) Cap() int { return cap(s.slots) }

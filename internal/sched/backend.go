@@ -7,6 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/resil"
 )
 
 // DefaultBackend is the backend used when Params.Backend is empty: the
@@ -104,6 +108,13 @@ func (o *Optimizer) ScheduleBackend(ctx context.Context, params Params) (*Schedu
 	return b.Schedule(ctx, o, params)
 }
 
+// Failpoint sites compiled into this package's hot paths; the chaos suite
+// arms them to prove the portfolio survives a faulty or stalled backend.
+const (
+	siteClassicSchedule = "sched/classic/schedule"
+	sitePortfolioRacer  = "sched/portfolio/racer"
+)
+
 // classicBackend is the paper's heuristic: preferred-width rectangle
 // growing swept over the (α, δ, insert-slack) grid, exactly SweepBest.
 type classicBackend struct{}
@@ -111,7 +122,42 @@ type classicBackend struct{}
 func (classicBackend) Name() string { return "classic" }
 
 func (classicBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+	if err := chaos.InjectContext(ctx, siteClassicSchedule); err != nil {
+		return nil, err
+	}
 	return opt.SweepBestContext(ctx, params, nil, nil)
+}
+
+// Circuit-breaker defaults for portfolio racers: a backend is quarantined
+// after DefaultBreakerThreshold consecutive failures or timeouts and is
+// probed again (half-open) after DefaultBreakerCooldown.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// BackendRaceStats is one backend's cumulative portfolio-race record,
+// exposed on the service's /metrics endpoint.
+type BackendRaceStats struct {
+	// Won counts races this backend's schedule won.
+	Won int64 `json:"won"`
+	// Lost counts races it finished with a valid schedule that lost.
+	Lost int64 `json:"lost"`
+	// Failed counts races it exited with an error (including panics).
+	Failed int64 `json:"failed"`
+	// TimedOut counts races it exceeded BackendTimeout.
+	TimedOut int64 `json:"timedOut"`
+	// Quarantined counts races it was benched by its open breaker.
+	Quarantined int64 `json:"quarantined"`
+	// State is the breaker state ("closed", "open", "half-open"), or
+	// "exempt" for classic, which is never quarantined.
+	State string `json:"state"`
+}
+
+// racerHealth is one backend's breaker plus its race record.
+type racerHealth struct {
+	breaker *resil.Breaker   // nil for classic: the baseline is never benched
+	stats   BackendRaceStats // guarded by portfolioBackend.mu
 }
 
 // portfolioBackend races every other registered backend on the shared
@@ -121,6 +167,15 @@ func (classicBackend) Schedule(ctx context.Context, opt *Optimizer, params Param
 // reaches the scheduling lower bound LB(W) the race is over — the shared
 // context is cancelled and remaining racers stop early.
 //
+// Resilience: each racer runs in its own goroutine with panics contained
+// and, when params.BackendTimeout is set, a per-racer deadline — a hung
+// backend is abandoned in place and cannot delay the race beyond its
+// deadline. A consecutive-failure circuit breaker per backend (classic
+// exempt) benches repeat offenders for DefaultBreakerCooldown, after which
+// one half-open probe decides re-admission; if every admitted racer fails,
+// the portfolio degrades gracefully by racing the benched backends too,
+// so it returns a schedule whenever any backend at all survives.
+//
 // The returned makespan is deterministic: it is never worse than the best
 // single backend, and an early cancel only fires for LB(W)-optimal
 // schedules, which no racer can beat. The exact schedule bytes are
@@ -129,11 +184,206 @@ func (classicBackend) Schedule(ctx context.Context, opt *Optimizer, params Param
 // alphabetically first backend. With parallel racers an LB(W)-optimal
 // finisher may cancel an equally-good rival mid-run, so which optimal
 // layout is returned can vary run to run.
-type portfolioBackend struct{}
+type portfolioBackend struct {
+	mu     sync.Mutex
+	health map[string]*racerHealth // guarded by mu
+}
 
-func (portfolioBackend) Name() string { return "portfolio" }
+// thePortfolio is the registered portfolio instance; its breaker state is
+// process-wide, like the backend registry itself.
+var thePortfolio = &portfolioBackend{health: make(map[string]*racerHealth)}
 
-func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+// PortfolioStats returns every raced backend's cumulative race record,
+// keyed by backend name. Backends that never raced are absent.
+func PortfolioStats() map[string]BackendRaceStats {
+	thePortfolio.mu.Lock()
+	defer thePortfolio.mu.Unlock()
+	out := make(map[string]BackendRaceStats, len(thePortfolio.health))
+	for name, h := range thePortfolio.health {
+		s := h.stats
+		if h.breaker == nil {
+			s.State = "exempt"
+		} else {
+			s.State = h.breaker.State().String()
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// ResetPortfolioHealth discards all breaker state and race counters
+// (tests only — chaos plans would otherwise leak quarantines across tests).
+func ResetPortfolioHealth() {
+	thePortfolio.mu.Lock()
+	defer thePortfolio.mu.Unlock()
+	thePortfolio.health = make(map[string]*racerHealth)
+}
+
+func (pb *portfolioBackend) Name() string { return "portfolio" }
+
+// healthFor returns the backend's health record, creating it on first use.
+func (pb *portfolioBackend) healthFor(name string) *racerHealth {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	h, ok := pb.health[name]
+	if !ok {
+		h = &racerHealth{}
+		if name != DefaultBackend {
+			h.breaker = resil.NewBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown)
+		}
+		pb.health[name] = h
+	}
+	return h
+}
+
+// admit splits racers by breaker verdict. Classic (nil breaker) is always
+// admitted; benched racers get their quarantine counter bumped.
+func (pb *portfolioBackend) admit(racers []Backend) (admitted, benched []Backend) {
+	for _, b := range racers {
+		h := pb.healthFor(b.Name())
+		if h.breaker == nil || h.breaker.Allow() {
+			admitted = append(admitted, b)
+			continue
+		}
+		benched = append(benched, b)
+		pb.mu.Lock()
+		h.stats.Quarantined++
+		pb.mu.Unlock()
+	}
+	return admitted, benched
+}
+
+// observe feeds one racer's outcome to its breaker and counters. Outcomes
+// after the race was already decided (raceCtx cancelled) are not the
+// backend's fault and are ignored.
+func (pb *portfolioBackend) observe(raceCtx context.Context, name string, sch *Schedule, err error) {
+	if raceCtx.Err() != nil && sch == nil {
+		return
+	}
+	h := pb.healthFor(name)
+	pb.mu.Lock()
+	switch {
+	case sch != nil:
+		// Won/Lost is recorded once the race is decided; a finish always
+		// closes the breaker.
+	case errors.Is(err, context.DeadlineExceeded):
+		h.stats.TimedOut++
+	default:
+		h.stats.Failed++
+	}
+	pb.mu.Unlock()
+	if h.breaker != nil {
+		if sch != nil {
+			h.breaker.Success()
+		} else {
+			h.breaker.Failure()
+		}
+	}
+}
+
+// recordOutcome bumps Won for the race winner and Lost for every other
+// racer that finished with a valid schedule.
+func (pb *portfolioBackend) recordOutcome(racers []Backend, results []*Schedule, best int) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	for i, sch := range results {
+		if sch == nil {
+			continue
+		}
+		h := pb.health[racers[i].Name()]
+		if i == best {
+			h.stats.Won++
+		} else {
+			h.stats.Lost++
+		}
+	}
+}
+
+// runRacer runs one backend under the race context plus its per-racer
+// deadline, containing panics and abandoning (not joining) a racer that
+// ignores cancellation — a hung backend costs its goroutine, never the
+// race. The returned schedule is verified; err is non-nil iff sch is nil.
+func runRacer(raceCtx context.Context, b Backend, opt *Optimizer, params Params) (*Schedule, error) {
+	rctx := raceCtx
+	if params.BackendTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(raceCtx, params.BackendTimeout)
+		defer cancel()
+	}
+	type rres struct {
+		sch *Schedule
+		err error
+	}
+	ch := make(chan rres, 1) // buffered: an abandoned racer's send never blocks
+	go func() {
+		var r rres
+		defer func() {
+			if p := recover(); p != nil {
+				r = rres{nil, fmt.Errorf("sched: backend %s panicked: %v", b.Name(), p)}
+			}
+			ch <- r
+		}()
+		if err := chaos.InjectContext(rctx, sitePortfolioRacer); err != nil {
+			r = rres{nil, err}
+			return
+		}
+		p := params
+		p.Backend = b.Name()
+		sch, err := b.Schedule(rctx, opt, p)
+		if err == nil {
+			err = opt.Verify(sch)
+		}
+		if err != nil {
+			sch = nil // only verified schedules may win
+		}
+		r = rres{sch, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.sch, r.err
+	case <-rctx.Done():
+		return nil, rctx.Err()
+	}
+}
+
+// race runs one heat over the given racers and returns the best verified
+// schedule plus the first failure (for the all-failed error message).
+func (pb *portfolioBackend) race(ctx context.Context, opt *Optimizer, params Params, racers []Backend, floor int64) (*Schedule, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Schedule, len(racers))
+	errs := make([]error, len(racers))
+	ForEachContext(raceCtx, params.Workers, len(racers), func(i int) {
+		sch, err := runRacer(raceCtx, racers[i], opt, params)
+		pb.observe(raceCtx, racers[i].Name(), sch, err)
+		results[i], errs[i] = sch, err
+		if sch != nil && floor > 0 && sch.Makespan <= floor {
+			cancel() // a verified optimum: no racer can do better
+		}
+	})
+	best := -1
+	for i, sch := range results {
+		if sch == nil {
+			continue
+		}
+		if best < 0 || sch.Makespan < results[best].Makespan {
+			best = i
+		}
+	}
+	if best < 0 {
+		//soclint:allow backendreg terminal error scan; the race is already over
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("sched: portfolio: every backend failed; %s: %w", racers[i].Name(), err)
+			}
+		}
+		return nil, nil
+	}
+	pb.recordOutcome(racers, results, best)
+	return results[best], nil
+}
+
+func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,7 +393,7 @@ func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Par
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if name == "portfolio" {
+		if name == pb.Name() {
 			continue
 		}
 		b, err := BackendByName(name)
@@ -156,43 +406,25 @@ func (portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params Par
 		return nil, fmt.Errorf("sched: portfolio has no backends to race")
 	}
 	floor := optimalityFloor(opt, params)
-	raceCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	results := make([]*Schedule, len(racers))
-	errs := make([]error, len(racers))
-	ForEachContext(raceCtx, params.Workers, len(racers), func(i int) {
-		p := params
-		p.Backend = racers[i].Name()
-		sch, err := racers[i].Schedule(raceCtx, opt, p)
-		if err == nil {
-			err = opt.Verify(sch)
-		}
-		if err != nil {
-			sch = nil // only verified schedules may win
-		}
-		results[i], errs[i] = sch, err
-		if sch != nil && floor > 0 && sch.Makespan <= floor {
-			cancel() // a verified optimum: no racer can do better
-		}
-	})
+	admitted, benched := pb.admit(racers)
+	best, raceErr := pb.race(ctx, opt, params, admitted, floor)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var best *Schedule
-	for _, sch := range results {
-		if sch == nil {
-			continue
+	if best == nil && len(benched) > 0 {
+		// Graceful degradation: every admitted racer failed, so the benched
+		// ones are the only hope — better a quarantined backend's verified
+		// schedule than no schedule. A finisher here also closes its breaker.
+		if best, raceErr = pb.race(ctx, opt, params, benched, floor); best != nil {
+			return best, nil
 		}
-		if best == nil || sch.Makespan < best.Makespan {
-			best = sch
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 	if best == nil {
-		//soclint:allow backendreg terminal error scan; the race is already over
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("sched: portfolio: every backend failed; %s: %w", racers[i].Name(), err)
-			}
+		if raceErr != nil {
+			return nil, raceErr
 		}
 		return nil, fmt.Errorf("sched: portfolio: race cancelled before any backend finished")
 	}
@@ -234,5 +466,6 @@ func optimalityFloor(opt *Optimizer, params Params) int64 {
 
 func init() {
 	RegisterBackend(classicBackend{})
-	RegisterBackend(portfolioBackend{})
+	RegisterBackend(thePortfolio)
+	chaos.RegisterSites(siteClassicSchedule, sitePortfolioRacer)
 }

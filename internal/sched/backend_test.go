@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -185,5 +186,46 @@ func TestScheduleBackendUnknown(t *testing.T) {
 	_, err = opt.ScheduleBackend(context.Background(), Params{TAMWidth: 16, Backend: "bogus"})
 	if !errors.Is(err, ErrUnknownBackend) {
 		t.Fatalf("unknown backend error = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestIsDefaultBackend(t *testing.T) {
+	for name, want := range map[string]bool{
+		"":             true,
+		DefaultBackend: true,
+		"rectpack":     false,
+		"portfolio":    false,
+		"nope":         false,
+	} {
+		if got := IsDefaultBackend(name); got != want {
+			t.Errorf("IsDefaultBackend(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestOptimizerAccessorsAndUnknownCoreError(t *testing.T) {
+	s := bench.Demo()
+	o, err := New(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.MaxWidth(); got != 64 {
+		t.Errorf("MaxWidth() = %d, want 64", got)
+	}
+	sets := o.ParetoSets()
+	if len(sets) != len(s.Cores) {
+		t.Errorf("ParetoSets() has %d entries, want %d", len(sets), len(s.Cores))
+	}
+	for _, c := range s.Cores {
+		if sets[c.ID] == nil {
+			t.Errorf("ParetoSets() missing core %d", c.ID)
+		}
+	}
+	e := &UnknownCoreError{CoreID: 7}
+	if got := e.Error(); !strings.Contains(got, "7") {
+		t.Errorf("UnknownCoreError.Error() = %q, want the core ID in it", got)
+	}
+	if got := PaperPercents(); len(got) != 10 || got[0] != 1 || got[9] != 10 {
+		t.Errorf("PaperPercents() = %v, want 1..10", got)
 	}
 }

@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/chaos"
+)
+
+// resilFakes are switchable misbehaving backends for portfolio resilience
+// tests. Registered once per binary (the registry has no unregister), they
+// return an immediate error while their switch is off so unrelated
+// portfolio tests just see one more failing racer.
+var resilFakes = struct {
+	once    sync.Once
+	hang    atomic.Bool   // "test-hung" blocks, ignoring ctx, while set
+	release chan struct{} // closed once to reap abandoned test-hung goroutines
+	panics  atomic.Bool   // "test-panicking" panics while set
+	flaky   atomic.Bool   // "test-flaky" fails while set, else runs the sweep
+}{release: make(chan struct{})}
+
+func registerResilFakes() {
+	resilFakes.once.Do(func() {
+		RegisterBackend(testBackend{
+			name: "test-hung",
+			fn: func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+				if !resilFakes.hang.Load() {
+					return nil, errors.New("test-hung: off")
+				}
+				// Deliberately ignores ctx — the pathological racer the
+				// per-racer deadline exists for.
+				<-resilFakes.release
+				return nil, errors.New("test-hung: released")
+			},
+		})
+		RegisterBackend(testBackend{
+			name: "test-panicking",
+			fn: func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+				if resilFakes.panics.Load() {
+					panic("test-panicking: boom")
+				}
+				return nil, errors.New("test-panicking: off")
+			},
+		})
+		RegisterBackend(testBackend{
+			name: "test-flaky",
+			fn: func(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+				if resilFakes.flaky.Load() {
+					return nil, errors.New("test-flaky: injected failure")
+				}
+				p := params
+				p.Backend = ""
+				return opt.SweepBestContext(ctx, p, nil, nil)
+			},
+		})
+	})
+}
+
+// TestPortfolioHungRacerBoundedByBackendTimeout is the regression test for
+// the satellite fix: a racer that ignores cancellation entirely cannot
+// delay the portfolio past BackendTimeout — it is abandoned in place.
+func TestPortfolioHungRacerBoundedByBackendTimeout(t *testing.T) {
+	registerRaceFakes()
+	registerResilFakes()
+	ResetPortfolioHealth()
+	t.Cleanup(ResetPortfolioHealth)
+	resilFakes.hang.Store(true)
+	t.Cleanup(func() {
+		resilFakes.hang.Store(false)
+		close(resilFakes.release) // reap abandoned racer goroutines
+	})
+
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{TAMWidth: 16, Workers: 1, Backend: "portfolio", BackendTimeout: 200 * time.Millisecond}
+	start := time.Now()
+	sch, err := opt.ScheduleBackend(context.Background(), p)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("portfolio with hung racer: %v", err)
+	}
+	if err := opt.Verify(sch); err != nil {
+		t.Fatalf("winner fails verification: %v", err)
+	}
+	// Generous CI bound: the only slow step allowed is the hung racer's
+	// 200ms deadline; everything else on Demo is milliseconds.
+	if elapsed > 5*time.Second {
+		t.Fatalf("hung racer delayed the race %v, want prompt abandonment", elapsed)
+	}
+	stats := PortfolioStats()
+	if got := stats["test-hung"].TimedOut; got != 1 {
+		t.Errorf("test-hung timedOut = %d, want 1", got)
+	}
+	if got := stats["test-hung"].State; got != "closed" {
+		t.Errorf("test-hung breaker state = %q after one timeout, want closed", got)
+	}
+	if got := stats[DefaultBackend].Won; got != 1 {
+		t.Errorf("classic won = %d, want 1 (stats: %+v)", got, stats)
+	}
+}
+
+// TestPortfolioContainsRacerPanic: a panicking backend is recorded as a
+// failure, and the race still produces a verified schedule.
+func TestPortfolioContainsRacerPanic(t *testing.T) {
+	registerRaceFakes()
+	registerResilFakes()
+	ResetPortfolioHealth()
+	t.Cleanup(ResetPortfolioHealth)
+	resilFakes.panics.Store(true)
+	t.Cleanup(func() { resilFakes.panics.Store(false) })
+
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{TAMWidth: 16, Workers: 1, Backend: "portfolio"}
+	sch, err := opt.ScheduleBackend(context.Background(), p)
+	if err != nil {
+		t.Fatalf("portfolio with panicking racer: %v", err)
+	}
+	if err := opt.Verify(sch); err != nil {
+		t.Fatalf("winner fails verification: %v", err)
+	}
+	if got := PortfolioStats()["test-panicking"].Failed; got != 1 {
+		t.Errorf("test-panicking failed = %d, want 1", got)
+	}
+}
+
+// TestPortfolioQuarantineAndGracefulDegradation drives the full breaker
+// lifecycle through the portfolio itself: repeated failures quarantine a
+// backend; when every admitted backend fails, the portfolio degrades to
+// racing the benched ones; a benched backend that recovers wins and its
+// breaker closes again.
+func TestPortfolioQuarantineAndGracefulDegradation(t *testing.T) {
+	registerRaceFakes()
+	registerResilFakes()
+	ResetPortfolioHealth()
+	t.Cleanup(ResetPortfolioHealth)
+	resilFakes.flaky.Store(true)
+	t.Cleanup(func() { resilFakes.flaky.Store(false) })
+
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{TAMWidth: 16, Workers: 1, Backend: "portfolio"}
+
+	// Three failing races open test-flaky's breaker (the other fakes all
+	// fail too and are quarantined alongside it).
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
+			t.Fatalf("race %d: %v", i, err)
+		}
+	}
+	stats := PortfolioStats()
+	if got := stats["test-flaky"].Failed; got != int64(DefaultBreakerThreshold) {
+		t.Fatalf("test-flaky failed = %d, want %d", got, DefaultBreakerThreshold)
+	}
+	if got := stats["test-flaky"].State; got != "open" {
+		t.Fatalf("test-flaky breaker state = %q, want open", got)
+	}
+
+	// While quarantined, the backend is benched, not called.
+	if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	stats = PortfolioStats()
+	if got := stats["test-flaky"].Quarantined; got != 1 {
+		t.Errorf("test-flaky quarantined = %d, want 1", got)
+	}
+	if got := stats["test-flaky"].Failed; got != int64(DefaultBreakerThreshold) {
+		t.Errorf("quarantined backend was still called: failed = %d", got)
+	}
+
+	// Kill classic via its failpoint and let test-flaky recover: every
+	// admitted racer now fails, so the portfolio must degrade to the
+	// benched set and return test-flaky's verified schedule.
+	resilFakes.flaky.Store(false)
+	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
+		{Site: siteClassicSchedule, Mode: chaos.ModeError},
+	}})
+	defer plan.Disable()
+	sch, err := opt.ScheduleBackend(context.Background(), p)
+	if err != nil {
+		t.Fatalf("degraded race: %v", err)
+	}
+	if err := opt.Verify(sch); err != nil {
+		t.Fatalf("degraded winner fails verification: %v", err)
+	}
+	stats = PortfolioStats()
+	if got := stats["test-flaky"].Won; got != 1 {
+		t.Errorf("test-flaky won = %d, want 1 (the degraded race)", got)
+	}
+	// The successful degraded run re-closed the breaker: re-admitted.
+	if got := stats["test-flaky"].State; got != "closed" {
+		t.Errorf("test-flaky breaker state = %q after recovery, want closed", got)
+	}
+	plan.Disable()
+	if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	// Re-admitted: benched twice total (once pre-recovery, once entering
+	// the degraded race), never since.
+	if got := PortfolioStats()["test-flaky"].Quarantined; got != 2 {
+		t.Errorf("recovered backend benched again: quarantined = %d, want 2", got)
+	}
+}
+
+// TestPortfolioAllBackendsDead: when literally everything fails the
+// portfolio reports the failure instead of hanging or returning nil.
+func TestPortfolioAllBackendsDead(t *testing.T) {
+	registerRaceFakes()
+	registerResilFakes()
+	ResetPortfolioHealth()
+	t.Cleanup(ResetPortfolioHealth)
+	resilFakes.flaky.Store(true)
+	t.Cleanup(func() { resilFakes.flaky.Store(false) })
+
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
+		{Site: siteClassicSchedule, Mode: chaos.ModeError},
+	}})
+	defer plan.Disable()
+	p := Params{TAMWidth: 16, Workers: 1, Backend: "portfolio"}
+	sch, err := opt.ScheduleBackend(context.Background(), p)
+	if err == nil {
+		t.Fatalf("all-dead portfolio returned %v, want error", sch)
+	}
+	var ie *chaos.InjectedError
+	if !errors.As(err, &ie) {
+		t.Errorf("all-dead error %v does not surface the racer failure", err)
+	}
+}

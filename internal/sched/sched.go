@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/pareto"
@@ -77,6 +78,12 @@ type Params struct {
 	// dispatch layers (ScheduleBackend and everything above it) read this
 	// field — Optimizer.Run itself ignores it and echoes it back.
 	Backend string
+	// BackendTimeout bounds each racer in a portfolio race: a racer that
+	// exceeds it is abandoned (counted as timed out by its circuit
+	// breaker) without delaying the others. Zero means no per-racer
+	// deadline. Non-portfolio backends ignore it — callers wanting a
+	// whole-request deadline use the context instead.
+	BackendTimeout time.Duration
 }
 
 // Defaults fills unset fields with the paper's defaults.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // JobState is the lifecycle of an async job.
@@ -30,11 +32,25 @@ func (s JobState) Terminal() bool {
 }
 
 // ErrQueueFull reports a Submit rejected because the job queue is at
-// capacity (the HTTP layer maps it to 503).
+// capacity (the HTTP layer maps it to 429 with a Retry-After).
 var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQueueWait reports a job that waited in the queue past the pool's
+// queue-wait deadline and was failed without running — by the time a
+// worker would have picked it up, the submitter has long stopped caring.
+var ErrQueueWait = errors.New("service: job exceeded queue-wait deadline")
 
 // ErrClosed reports a Submit after Close.
 var ErrClosed = errors.New("service: job pool closed")
+
+// siteJobsRun is the failpoint fired at the top of every job execution;
+// the chaos suite arms it to inject panics and transient errors into the
+// worker pool.
+const siteJobsRun = "service/jobs/run"
+
+func init() {
+	chaos.RegisterSites(siteJobsRun, siteRegistryBuild, siteSchedule)
+}
 
 // Job is one asynchronous unit of work. All state is guarded by the owning
 // pool's mutex; read it through Snapshot.
@@ -51,6 +67,7 @@ type Job struct {
 	ctx     context.Context
 	run     func(context.Context) (any, error)
 	done    chan struct{} // closed when the job reaches a terminal state
+	expiry  *time.Timer   // fails the job if still queued at the deadline
 }
 
 // ID returns the job's identifier.
@@ -76,29 +93,34 @@ type JobStatus struct {
 // jobs are retained (bounded) so clients can poll results. All methods are
 // safe for concurrent use.
 type Jobs struct {
-	mu       sync.Mutex
-	jobs     map[string]*Job // guarded by mu
-	order    []string        // guarded by mu; creation order, for retention pruning
-	queue    chan *Job
-	seq      int64 // guarded by mu
-	retained int
-	closed   bool // guarded by mu
-	baseCtx  context.Context
-	stopAll  context.CancelFunc
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	jobs      map[string]*Job // guarded by mu
+	order     []string        // guarded by mu; creation order, for retention pruning
+	queue     chan *Job
+	seq       int64 // guarded by mu
+	retained  int
+	queueWait time.Duration // immutable after NewJobs; 0 = unbounded
+	qTimeouts int64         // guarded by mu; jobs failed by the queue-wait deadline
+	closed    bool          // guarded by mu
+	baseCtx   context.Context
+	stopAll   context.CancelFunc
+	wg        sync.WaitGroup
 }
 
-// Queue and retention bounds applied by NewJobs when Config leaves them
-// unset.
+// Queue, retention, and queue-wait bounds applied by NewJobs when Config
+// leaves them unset.
 const (
-	DefaultJobQueue    = 64
-	DefaultJobRetained = 256
+	DefaultJobQueue     = 64
+	DefaultJobRetained  = 256
+	DefaultJobQueueWait = 30 * time.Second
 )
 
 // NewJobs starts a pool of workers (<= 0 means 1) with a bounded queue
 // (queue <= 0 means DefaultJobQueue) retaining at most retained finished
-// jobs (<= 0 means DefaultJobRetained).
-func NewJobs(workers, queue, retained int) *Jobs {
+// jobs (<= 0 means DefaultJobRetained). A job still queued after queueWait
+// fails with ErrQueueWait instead of running long after its submitter gave
+// up (0 means DefaultJobQueueWait; negative disables the deadline).
+func NewJobs(workers, queue, retained int, queueWait time.Duration) *Jobs {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -108,13 +130,19 @@ func NewJobs(workers, queue, retained int) *Jobs {
 	if retained <= 0 {
 		retained = DefaultJobRetained
 	}
+	if queueWait == 0 {
+		queueWait = DefaultJobQueueWait
+	} else if queueWait < 0 {
+		queueWait = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Jobs{
-		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, queue),
-		retained: retained,
-		baseCtx:  ctx,
-		stopAll:  cancel,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, queue),
+		retained:  retained,
+		queueWait: queueWait,
+		baseCtx:   ctx,
+		stopAll:   cancel,
 	}
 	for i := 0; i < workers; i++ {
 		j.wg.Add(1)
@@ -153,9 +181,29 @@ func (j *Jobs) Submit(kind string, run func(context.Context) (any, error)) (*Job
 	}
 	j.jobs[jb.id] = jb
 	j.order = append(j.order, jb.id)
+	if j.queueWait > 0 {
+		jb.expiry = time.AfterFunc(j.queueWait, func() { j.expireQueued(jb) })
+	}
 	j.pruneLocked()
 	j.mu.Unlock()
 	return jb, nil
+}
+
+// expireQueued fails a job that is still waiting for a worker when its
+// queue-wait deadline fires; the worker skips it like a cancelled job.
+func (j *Jobs) expireQueued(jb *Job) {
+	j.mu.Lock()
+	if jb.state != JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	jb.state = JobFailed
+	jb.err = ErrQueueWait
+	jb.ended = time.Now()
+	j.qTimeouts++
+	close(jb.done)
+	j.mu.Unlock()
+	jb.cancel()
 }
 
 // pruneLocked drops the oldest terminal jobs beyond the retention bound.
@@ -257,6 +305,9 @@ func (j *Jobs) worker() {
 		}
 		jb.state = JobRunning
 		jb.started = time.Now()
+		if jb.expiry != nil {
+			jb.expiry.Stop()
+		}
 		run, ctx := jb.run, jb.ctx
 		j.mu.Unlock()
 
@@ -287,23 +338,30 @@ func runJob(run func(context.Context) (any, error), ctx context.Context) (result
 			result, err = nil, fmt.Errorf("service: job panicked: %v", rec)
 		}
 	}()
+	if err := chaos.InjectContext(ctx, siteJobsRun); err != nil {
+		return nil, err
+	}
 	return run(ctx)
 }
 
-// JobsStats counts jobs by state.
+// JobsStats counts jobs by state, plus queue health: Depth is the number
+// of jobs sitting in the queue channel right now and QueueTimeouts counts
+// jobs failed by the queue-wait deadline since the pool started.
 type JobsStats struct {
-	Queued    int `json:"queued"`
-	Running   int `json:"running"`
-	Done      int `json:"done"`
-	Failed    int `json:"failed"`
-	Cancelled int `json:"cancelled"`
+	Queued        int   `json:"queued"`
+	Running       int   `json:"running"`
+	Done          int   `json:"done"`
+	Failed        int   `json:"failed"`
+	Cancelled     int   `json:"cancelled"`
+	Depth         int   `json:"queueDepth"`
+	QueueTimeouts int64 `json:"queueTimeouts"`
 }
 
 // Stats snapshots the per-state job counts over the retained window.
 func (j *Jobs) Stats() JobsStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var st JobsStats
+	st := JobsStats{Depth: len(j.queue), QueueTimeouts: j.qTimeouts}
 	for _, jb := range j.jobs {
 		switch jb.state {
 		case JobQueued:

@@ -20,7 +20,7 @@ func waitTerminal(t *testing.T, jb *Job) {
 }
 
 func TestJobLifecycle(t *testing.T) {
-	j := NewJobs(2, 0, 0)
+	j := NewJobs(2, 0, 0, 0)
 	defer j.Close()
 	jb, err := j.Submit("answer", func(ctx context.Context) (any, error) { return 42, nil })
 	if err != nil {
@@ -44,7 +44,7 @@ func TestJobLifecycle(t *testing.T) {
 // failed job instead of crashing the worker (and the process); the pool
 // keeps serving afterwards.
 func TestJobPanicContained(t *testing.T) {
-	j := NewJobs(1, 0, 0)
+	j := NewJobs(1, 0, 0, 0)
 	defer j.Close()
 	jb, err := j.Submit("panic", func(ctx context.Context) (any, error) {
 		panic("kaboom")
@@ -69,7 +69,7 @@ func TestJobPanicContained(t *testing.T) {
 }
 
 func TestJobFailed(t *testing.T) {
-	j := NewJobs(1, 0, 0)
+	j := NewJobs(1, 0, 0, 0)
 	defer j.Close()
 	boom := errors.New("boom")
 	jb, err := j.Submit("fail", func(ctx context.Context) (any, error) { return nil, boom })
@@ -85,7 +85,7 @@ func TestJobFailed(t *testing.T) {
 // TestJobCancelRunning asserts Cancel unblocks a running job through its
 // context — the core of "a cancelled job stops its workers".
 func TestJobCancelRunning(t *testing.T) {
-	j := NewJobs(1, 0, 0)
+	j := NewJobs(1, 0, 0, 0)
 	defer j.Close()
 	running := make(chan struct{})
 	jb, err := j.Submit("block", func(ctx context.Context) (any, error) {
@@ -111,7 +111,7 @@ func TestJobCancelRunning(t *testing.T) {
 
 // TestJobCancelQueued cancels a job that never reached a worker.
 func TestJobCancelQueued(t *testing.T) {
-	j := NewJobs(1, 4, 0)
+	j := NewJobs(1, 4, 0, 0)
 	defer j.Close()
 	release := make(chan struct{})
 	blocker, err := j.Submit("blocker", func(ctx context.Context) (any, error) {
@@ -146,7 +146,7 @@ func TestJobCancelQueued(t *testing.T) {
 }
 
 func TestJobQueueFull(t *testing.T) {
-	j := NewJobs(1, 1, 0)
+	j := NewJobs(1, 1, 0, 0)
 	defer j.Close()
 	release := make(chan struct{})
 	defer close(release)
@@ -172,7 +172,7 @@ func noop(ctx context.Context) (any, error) { return nil, nil }
 // TestJobsClose asserts Close cancels running jobs and rejects further
 // submissions.
 func TestJobsClose(t *testing.T) {
-	j := NewJobs(2, 0, 0)
+	j := NewJobs(2, 0, 0, 0)
 	running := make(chan struct{})
 	jb, err := j.Submit("hang", func(ctx context.Context) (any, error) {
 		close(running)
@@ -195,7 +195,7 @@ func TestJobsClose(t *testing.T) {
 // TestJobsRetention asserts finished jobs beyond the retention bound are
 // pruned oldest-first while live jobs survive.
 func TestJobsRetention(t *testing.T) {
-	j := NewJobs(1, 16, 3)
+	j := NewJobs(1, 16, 3, 0)
 	defer j.Close()
 	var ids []string
 	for i := 0; i < 6; i++ {

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // Metrics holds the service's request counters. Snapshot-able without
@@ -18,21 +20,28 @@ type Metrics struct {
 	schedules atomic.Int64
 	sweeps    atomic.Int64
 	panics    atomic.Int64
+	shed      atomic.Int64 // requests rejected 429 by admission control
+	timeouts  atomic.Int64 // requests that hit their deadline (504)
 }
 
 // MetricsSnapshot is the JSON form of the counters plus registry/job
-// state, served by GET /metrics.
+// state, served by GET /metrics. Backends carries every backend's
+// cumulative portfolio-race record (races won/lost/failed/timed-out and
+// quarantine benchings, plus its breaker state).
 type MetricsSnapshot struct {
-	UptimeSeconds float64       `json:"uptimeSeconds"`
-	Requests      int64         `json:"requests"`
-	Inflight      int64         `json:"inflight"`
-	Status4xx     int64         `json:"status4xx"`
-	Status5xx     int64         `json:"status5xx"`
-	Schedules     int64         `json:"schedules"`
-	Sweeps        int64         `json:"sweeps"`
-	Panics        int64         `json:"panics"`
-	Registry      RegistryStats `json:"registry"`
-	Jobs          JobsStats     `json:"jobs"`
+	UptimeSeconds float64                           `json:"uptimeSeconds"`
+	Requests      int64                             `json:"requests"`
+	Inflight      int64                             `json:"inflight"`
+	Status4xx     int64                             `json:"status4xx"`
+	Status5xx     int64                             `json:"status5xx"`
+	Schedules     int64                             `json:"schedules"`
+	Sweeps        int64                             `json:"sweeps"`
+	Panics        int64                             `json:"panics"`
+	Shed          int64                             `json:"shed"`
+	Timeouts      int64                             `json:"timeouts"`
+	Registry      RegistryStats                     `json:"registry"`
+	Jobs          JobsStats                         `json:"jobs"`
+	Backends      map[string]sched.BackendRaceStats `json:"backends"`
 }
 
 // statusWriter captures the response status for logging and metrics.

@@ -14,9 +14,15 @@ import (
 	"sync/atomic"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/soc"
 	"repro/internal/socfile"
 )
+
+// siteRegistryBuild is the failpoint fired before every Planner build; the
+// chaos suite arms it to prove failed builds are not cached (the next
+// caller rebuilds) and that the sweep job pool retries transient failures.
+const siteRegistryBuild = "service/registry/build"
 
 // DefaultPlannerCapacity bounds the Planner LRU when Config leaves it
 // unset. Planners hold every (core, width) wrapper design and Pareto
@@ -148,7 +154,11 @@ func (r *Registry) Planner(key string) (*repro.Planner, error) {
 	r.evictLocked(pe)
 	r.mu.Unlock()
 
-	planner, err := repro.NewPlanner(s)
+	var planner *repro.Planner
+	err := chaos.Inject(siteRegistryBuild)
+	if err == nil {
+		planner, err = repro.NewPlanner(s)
+	}
 	r.builds.Add(1)
 
 	r.mu.Lock()

@@ -9,12 +9,25 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/resil"
 	"repro/internal/sched"
 	"repro/internal/socfile"
+)
+
+// Admission and deadline bounds applied by New when Config leaves them
+// unset.
+const (
+	// DefaultMaxConcurrent bounds scheduling-work requests in flight.
+	DefaultMaxConcurrent = 64
+	// DefaultMaxTimeout caps every request deadline, including requests
+	// that ask for none.
+	DefaultMaxTimeout = 60 * time.Second
 )
 
 // Config tunes a Server.
@@ -27,6 +40,16 @@ type Config struct {
 	JobQueue int
 	// JobRetained bounds retained finished jobs (<= 0: DefaultJobRetained).
 	JobRetained int
+	// JobQueueWait fails jobs still queued after this long (0:
+	// DefaultJobQueueWait; < 0 disables the deadline).
+	JobQueueWait time.Duration
+	// MaxConcurrent bounds scheduling-work requests admitted at once;
+	// excess requests are shed with 429 + Retry-After rather than queued
+	// (<= 0: DefaultMaxConcurrent).
+	MaxConcurrent int
+	// MaxTimeout caps per-request deadlines: a request's params.timeoutMs
+	// may shorten it but never extend past this (<= 0: DefaultMaxTimeout).
+	MaxTimeout time.Duration
 	// Preload names built-in benchmark SOCs to register at startup; the
 	// single entry "all" expands to every built-in.
 	Preload []string
@@ -38,12 +61,15 @@ type Config struct {
 // job pool, and the HTTP/JSON API wired together. Create it with New,
 // mount Handler on an http.Server, and Close it on shutdown.
 type Server struct {
-	reg     *Registry
-	jobs    *Jobs
-	metrics Metrics
-	log     *log.Logger
-	handler http.Handler
-	start   time.Time
+	reg        *Registry
+	jobs       *Jobs
+	metrics    Metrics
+	sem        *resil.Semaphore
+	maxTimeout time.Duration
+	draining   atomic.Bool
+	log        *log.Logger
+	handler    http.Handler
+	start      time.Time
 }
 
 // builtinNames are the Preload "all" expansion.
@@ -51,11 +77,21 @@ var builtinNames = []string{"d695", "p22810like", "p34392like", "p93791like", "d
 
 // New builds a Server and registers any preloaded SOCs.
 func New(cfg Config) (*Server, error) {
+	maxConcurrent := cfg.MaxConcurrent
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	maxTimeout := cfg.MaxTimeout
+	if maxTimeout <= 0 {
+		maxTimeout = DefaultMaxTimeout
+	}
 	s := &Server{
-		reg:   NewRegistry(cfg.PlannerCapacity),
-		jobs:  NewJobs(cfg.JobWorkers, cfg.JobQueue, cfg.JobRetained),
-		log:   cfg.Logger,
-		start: time.Now(),
+		reg:        NewRegistry(cfg.PlannerCapacity),
+		jobs:       NewJobs(cfg.JobWorkers, cfg.JobQueue, cfg.JobRetained, cfg.JobQueueWait),
+		sem:        resil.NewSemaphore(maxConcurrent),
+		maxTimeout: maxTimeout,
+		log:        cfg.Logger,
+		start:      time.Now(),
 	}
 	names := cfg.Preload
 	if len(names) == 1 && names[0] == "all" {
@@ -75,6 +111,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/socs", s.handleSOCList)
 	mux.HandleFunc("POST /v1/socs", s.handleSOCAdd)
@@ -101,8 +138,16 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Jobs exposes the async job pool (metrics, tests).
 func (s *Server) Jobs() *Jobs { return s.jobs }
 
-// Close cancels all running jobs and drains the worker pool.
-func (s *Server) Close() { s.jobs.Close() }
+// BeginDrain flips /readyz to 503 so load balancers stop routing here;
+// in-flight work is unaffected. Call it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close begins draining, cancels all running jobs, and drains the worker
+// pool.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.jobs.Close()
+}
 
 // ---- request/response shapes ----
 
@@ -123,9 +168,17 @@ type ParamsJSON struct {
 	IgnoreHierarchy bool        `json:"ignoreHierarchy,omitempty"`
 	Workers         int         `json:"workers,omitempty"`
 	Backend         string      `json:"backend,omitempty"`
+	// TimeoutMS is the request deadline in milliseconds, capped by the
+	// server's MaxTimeout; a request past its deadline answers 504. Zero
+	// means the server cap alone applies.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// BackendTimeoutMS bounds each racer in a portfolio race (see
+	// Options.BackendTimeout); zero means no per-racer deadline.
+	BackendTimeoutMS int64 `json:"backendTimeoutMs,omitempty"`
 }
 
-// Options converts the wire params to library options.
+// Options converts the wire params to library options. TimeoutMS is not an
+// option: it shapes the request context, not the scheduling work.
 func (p ParamsJSON) Options() repro.Options {
 	return repro.Options{
 		TAMWidth:        p.TAMWidth,
@@ -139,6 +192,7 @@ func (p ParamsJSON) Options() repro.Options {
 		IgnoreHierarchy: p.IgnoreHierarchy,
 		Workers:         p.Workers,
 		Backend:         p.Backend,
+		BackendTimeout:  time.Duration(p.BackendTimeoutMS) * time.Millisecond,
 	}
 }
 
@@ -164,6 +218,10 @@ type sweepRequest struct {
 	// Wait runs the sweep synchronously on the request instead of
 	// submitting an async job.
 	Wait bool `json:"wait,omitempty"`
+	// TimeoutMS is the deadline for a synchronous (wait) sweep in
+	// milliseconds, capped by the server's MaxTimeout. Async jobs run
+	// under the job pool's lifecycle instead.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
 }
 
 type effectiveRequest struct {
@@ -174,6 +232,9 @@ type effectiveRequest struct {
 	// 0.5 (equal weight).
 	Gamma   *float64 `json:"gamma,omitempty"`
 	Workers int      `json:"workers,omitempty"`
+	// TimeoutMS is the request deadline in milliseconds, capped by the
+	// server's MaxTimeout.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
 }
 
 // ---- handlers ----
@@ -183,6 +244,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service": "socserved",
 		"endpoints": []string{
 			"GET  /healthz",
+			"GET  /readyz",
 			"GET  /metrics",
 			"GET  /v1/socs",
 			"POST /v1/socs                (.soc text or JSON body)",
@@ -203,6 +265,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer readiness probe: 200 while serving,
+// 503 once BeginDrain/Close flipped the server into drain so new traffic
+// is routed elsewhere while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -213,8 +286,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Schedules:     s.metrics.schedules.Load(),
 		Sweeps:        s.metrics.sweeps.Load(),
 		Panics:        s.metrics.panics.Load(),
+		Shed:          s.metrics.shed.Load(),
+		Timeouts:      s.metrics.timeouts.Load(),
 		Registry:      s.reg.Stats(),
 		Jobs:          s.jobs.Stats(),
+		Backends:      sched.PortfolioStats(),
 	})
 }
 
@@ -268,6 +344,44 @@ func (s *Server) handleSOCGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "soc": EncodeSOC(soc)})
 }
 
+// admit takes an admission slot, shedding the request with 429 and a
+// Retry-After when the server is at MaxConcurrent — a bounded, fast "try
+// again" beats queueing work a deadline will kill anyway. On success the
+// caller must call the returned release.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if !s.sem.TryAcquire() {
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("service: at capacity (%d scheduling requests in flight)", s.sem.Cap()))
+		return nil, false
+	}
+	return s.sem.Release, true
+}
+
+// requestCtx derives the work context for a scheduling request: the
+// client's timeoutMs when given, always capped by the server's MaxTimeout.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.maxTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// scheduleStatus maps a scheduling failure to its HTTP status: a missed
+// deadline is the gateway-timeout family (and counted), everything else is
+// the request's fault.
+func (s *Server) scheduleStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.timeouts.Add(1)
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // handleSchedule answers POST /v1/schedule and /v1/schedule/best. The body
 // is exactly what schedio.Save emits for the Planner's answer, so service
 // responses and library results are interchangeable byte-for-byte.
@@ -279,6 +393,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 	if !checkParams(w, req.Params) {
 		return
 	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
 		return
@@ -286,9 +405,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 	if !checkPreemptions(w, planner, req.Params) {
 		return
 	}
-	sch, err := s.runSchedule(r, planner, req.Params.Options(), best)
+	ctx, cancel := s.requestCtx(r, req.Params.TimeoutMS)
+	defer cancel()
+	sch, err := s.runSchedule(ctx, planner, req.Params.Options(), best)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, s.scheduleStatus(err), err)
 		return
 	}
 	s.metrics.schedules.Add(1)
@@ -302,12 +423,45 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 // the selected backend's best mode, /v1/schedule does too for non-classic
 // backends (rectpack and portfolio have no single-run (α, δ) grid point to
 // pin), and only the classic default keeps the historical single-run path.
-func (s *Server) runSchedule(r *http.Request, planner *repro.Planner, opts repro.Options, best bool) (*repro.TestSchedule, error) {
-	if best || !sched.IsDefaultBackend(opts.Backend) {
-		return planner.ScheduleBestContext(r.Context(), opts)
+// The work runs in its own goroutine so the handler honors ctx's deadline
+// even on the context-free classic single-run path; on timeout the worker
+// is abandoned (its result discarded), and its panics are contained here
+// rather than in the HTTP middleware so an abandoned worker can never
+// crash the process.
+func (s *Server) runSchedule(ctx context.Context, planner *repro.Planner, opts repro.Options, best bool) (*repro.TestSchedule, error) {
+	if err := chaos.InjectContext(ctx, siteSchedule); err != nil {
+		return nil, err
 	}
-	return planner.Schedule(opts)
+	type result struct {
+		sch *repro.TestSchedule
+		err error
+	}
+	ch := make(chan result, 1) // buffered: an abandoned worker's send never blocks
+	go func() {
+		var res result
+		defer func() {
+			if rec := recover(); rec != nil {
+				res = result{nil, fmt.Errorf("service: schedule panicked: %v", rec)}
+			}
+			ch <- res
+		}()
+		if best || !sched.IsDefaultBackend(opts.Backend) {
+			res.sch, res.err = planner.ScheduleBestContext(ctx, opts)
+		} else {
+			res.sch, res.err = planner.Schedule(opts)
+		}
+	}()
+	select {
+	case res := <-ch:
+		return res.sch, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
+
+// siteSchedule is the failpoint fired at the top of every scheduling
+// request's work phase (after admission, before the planner runs).
+const siteSchedule = "service/schedule"
 
 // MaxRequestWidth caps every client-controlled TAM width: sweep ranges,
 // params.tamWidth, and params.maxWidth. The paper's studies stop at W=80
@@ -328,6 +482,15 @@ func checkSweepRange(w http.ResponseWriter, lo, hi int) bool {
 	return true
 }
 
+func checkTimeoutMS(w http.ResponseWriter, timeoutMS int64) bool {
+	if timeoutMS < 0 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("timeoutMs=%d must be >= 0", timeoutMS))
+		return false
+	}
+	return true
+}
+
 // checkParams rejects out-of-range scheduling widths before they reach
 // the scheduler's per-wire allocations (zero values are fine: the library
 // fills its defaults and rejects a missing tamWidth itself) and unknown
@@ -336,6 +499,11 @@ func checkParams(w http.ResponseWriter, p ParamsJSON) bool {
 	if p.TAMWidth < 0 || p.TAMWidth > MaxRequestWidth || p.MaxWidth < 0 || p.MaxWidth > MaxRequestWidth {
 		writeError(w, http.StatusUnprocessableEntity,
 			fmt.Errorf("params widths tamWidth=%d maxWidth=%d outside [0,%d]", p.TAMWidth, p.MaxWidth, MaxRequestWidth))
+		return false
+	}
+	if p.TimeoutMS < 0 || p.BackendTimeoutMS < 0 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("params timeoutMs=%d backendTimeoutMs=%d must be >= 0", p.TimeoutMS, p.BackendTimeoutMS))
 		return false
 	}
 	if _, err := sched.BackendByName(p.Backend); err != nil {
@@ -383,19 +551,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
 		return
 	}
+	if !checkTimeoutMS(w, req.TimeoutMS) {
+		return
+	}
 	fp, ok := s.reg.Resolve(req.SOC)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownSOC, req.SOC))
 		return
 	}
 	if req.Wait {
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
 		planner, ok := s.plannerFor(w, fp)
 		if !ok {
 			return
 		}
-		sw, err := planner.SweepWidthsContext(r.Context(), req.WidthLo, req.WidthHi, req.Workers)
+		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		defer cancel()
+		sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, s.scheduleStatus(err), err)
 			return
 		}
 		s.metrics.sweeps.Add(1)
@@ -403,11 +581,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.jobs.Submit("sweep "+req.SOC, func(ctx context.Context) (any, error) {
-		planner, err := s.reg.Planner(fp)
-		if err != nil {
-			return nil, err
-		}
-		sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+		// Transient planner failures (a failed build is never cached — the
+		// registry rebuilds on the next call) are retried with seeded
+		// jittered backoff rather than failing the whole job.
+		sw, err := resil.Retry(ctx, resil.RetryConfig{}, func(ctx context.Context) (*repro.WidthSweep, error) {
+			planner, err := s.reg.Planner(fp)
+			if err != nil {
+				return nil, err
+			}
+			return planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -415,9 +598,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return sw, nil
 	})
 	if err != nil {
+		// A full queue is back-pressure, not an outage: shed like admission
+		// control does, with a Retry-After.
 		code := http.StatusServiceUnavailable
-		if errors.Is(err, ErrClosed) {
+		switch {
+		case errors.Is(err, ErrClosed):
 			code = http.StatusGone
+		case errors.Is(err, ErrQueueFull):
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			code = http.StatusTooManyRequests
 		}
 		writeError(w, code, err)
 		return
@@ -440,13 +630,23 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
 		return
 	}
+	if !checkTimeoutMS(w, req.TimeoutMS) {
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
 		return
 	}
-	sw, err := planner.SweepWidthsContext(r.Context(), req.WidthLo, req.WidthHi, req.Workers)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, s.scheduleStatus(err), err)
 		return
 	}
 	s.metrics.sweeps.Add(1)
@@ -471,6 +671,11 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	if !checkParams(w, req.Params) {
 		return
 	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	planner, ok := s.plannerFor(w, req.SOC)
 	if !ok {
 		return
@@ -478,9 +683,11 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	if !checkPreemptions(w, planner, req.Params) {
 		return
 	}
-	sch, err := s.runSchedule(r, planner, req.Params.Options(), req.Best)
+	ctx, cancel := s.requestCtx(r, req.Params.TimeoutMS)
+	defer cancel()
+	sch, err := s.runSchedule(ctx, planner, req.Params.Options(), req.Best)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, s.scheduleStatus(err), err)
 		return
 	}
 	s.metrics.schedules.Add(1)
