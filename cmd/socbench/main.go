@@ -27,12 +27,16 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/corpus"
 	"repro/internal/datavol"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/service"
@@ -58,6 +62,7 @@ func main() {
 		benchcmp  = flag.String("benchcmp", "", "baseline benchjson file to gate against; compares -benchnew (or the file just written by -benchjson) and exits 1 on regression")
 		benchnew  = flag.String("benchnew", "", "current benchjson file for -benchcmp (default: the -benchjson path)")
 		benchmax  = flag.Float64("benchmaxpct", 25, "max tolerated ns/op regression percent for the -benchcmp gate")
+		obsTables = flag.Bool("obs", false, "schedule every corpus scenario with every backend and print the per-backend and per-stage latency tables")
 	)
 	flag.Parse()
 
@@ -81,6 +86,10 @@ func main() {
 			fatal(fmt.Errorf("-benchcmp needs -benchnew (or a file-backed -benchjson) to compare against"))
 		}
 		runBenchCmp(*benchcmp, cur, *benchmax)
+	}
+	if *obsTables {
+		ran = true
+		runObs(*quick, *workers)
 	}
 	if *all || *backends {
 		ran = true
@@ -348,6 +357,68 @@ func runBackends(socs []*soc.SOC, quick bool, workers int) {
 		}
 	}
 	mustRender(t)
+}
+
+// runObs schedules every corpus scenario with every registered backend
+// (telemetry on, registries reset first) and prints the per-backend and
+// per-stage latency tables — the offline counterpart of the service's
+// /metrics latency block. -quick restricts the sweep to the first eight
+// scenarios.
+func runObs(quick bool, workers int) {
+	obs.ResetLatency()
+	scenarios := corpus.All()
+	if quick && len(scenarios) > 8 {
+		scenarios = scenarios[:8]
+	}
+	names := sched.Backends()
+	for _, sc := range scenarios {
+		s := sc.Build()
+		params, err := sc.ResolveParams(s)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sc.Name, err))
+		}
+		opt, err := sched.New(s, sched.DefaultMaxWidth)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sc.Name, err))
+		}
+		params.Workers = workers
+		for _, n := range names {
+			p := params
+			p.Backend = n
+			if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", sc.Name, n, err))
+			}
+		}
+	}
+	fmt.Printf("telemetry over %d corpus scenarios x %d backends\n\n", len(scenarios), len(names))
+	lat := obs.LatencySnapshot()
+	mustRender(latencyTable("Per-backend scheduling latency", lat.Backends))
+	fmt.Println()
+	mustRender(latencyTable("Per-stage latency", lat.Stages))
+}
+
+// latencyTable renders one histogram registry snapshot, sorted by name.
+func latencyTable(title string, hists map[string]obs.HistSnapshot) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"name", "count", "mean", "p50", "p90", "p99", "max"},
+	}
+	names := make([]string, 0, len(hists))
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hists[n]
+		t.AddRow(n, h.Count, fmtNs(h.MeanNs), fmtNs(h.P50Ns), fmtNs(h.P90Ns), fmtNs(h.P99Ns), fmtNs(h.MaxNs))
+	}
+	return t
+}
+
+// fmtNs renders a nanosecond quantile human-readably. The ASCII "us"
+// spelling keeps report.Table's byte-counted columns aligned.
+func fmtNs(ns int64) string {
+	return strings.ReplaceAll(time.Duration(ns).Round(time.Microsecond).String(), "µ", "u")
 }
 
 func runTable1(socs []*soc.SOC, workers int) {

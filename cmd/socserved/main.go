@@ -9,6 +9,7 @@
 //	socserved [-addr :8080] [-planners 32] [-job-workers N]
 //	          [-job-queue 64] [-jobs-retained 256] [-queue-wait 30s]
 //	          [-max-concurrent 64] [-max-timeout 60s] [-preload all] [-quiet]
+//	          [-pprof]
 //
 // See the README's "Running as a service" section for curl examples.
 package main
@@ -26,6 +27,10 @@ import (
 	"syscall"
 	"time"
 
+	// Registers the profiling handlers on http.DefaultServeMux; they are
+	// only reachable when -pprof mounts that mux under /debug/pprof/.
+	_ "net/http/pprof"
+
 	"repro/internal/service"
 )
 
@@ -41,6 +46,7 @@ func main() {
 		maxTO     = flag.Duration("max-timeout", service.DefaultMaxTimeout, "cap on per-request deadlines (params.timeoutMs may shorten, never extend)")
 		preload   = flag.String("preload", "all", "comma-separated built-in SOCs to register at startup (\"all\", \"\" for none)")
 		quiet     = flag.Bool("quiet", false, "suppress request logging")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -71,9 +77,17 @@ func main() {
 		logger.Fatal(err)
 	}
 
+	handler := svc.Handler()
+	if *pprofOn {
+		root := http.NewServeMux()
+		root.Handle("/debug/pprof/", http.DefaultServeMux)
+		root.Handle("/", handler)
+		handler = root
+		logger.Print("pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {

@@ -89,6 +89,38 @@ func main() {
 	post(*addr+"/v1/effective", "application/json",
 		jsonBody(map[string]any{"soc": up.Name, "widthLo": 8, "widthHi": 32, "gamma": 0.5}), &eff)
 	fmt.Printf("effective width (γ=0.5): W=%d (T=%d, D=%d)\n", eff.TAMWidth, eff.Time, eff.Volume)
+
+	// Race the backend portfolio once so the per-backend observability has
+	// a win to report, then print the discovery endpoint's race table.
+	post(*addr+"/v1/schedule/best", "application/json",
+		jsonBody(map[string]any{"soc": up.Fingerprint,
+			"params": map[string]any{"tamWidth": 24, "backend": "portfolio"}}), &sch)
+	fmt.Printf("portfolio best at W=24: makespan %d cycles\n\n", sch.Makespan)
+	var disc struct {
+		Backends []struct {
+			Name string `json:"name"`
+			Race struct {
+				Won     int64   `json:"won"`
+				Lost    int64   `json:"lost"`
+				State   string  `json:"state"`
+				WinRate float64 `json:"winRate"`
+			} `json:"race"`
+			Latency struct {
+				Count int64 `json:"count"`
+				P50Ns int64 `json:"p50Ns"`
+				P99Ns int64 `json:"p99Ns"`
+			} `json:"latency"`
+		} `json:"backends"`
+	}
+	get(*addr+"/v1/backends", &disc)
+	fmt.Printf("%-10s %5s %5s %8s %10s %10s %10s\n",
+		"backend", "won", "lost", "winrate", "state", "p50", "p99")
+	for _, b := range disc.Backends {
+		fmt.Printf("%-10s %5d %5d %7.0f%% %10s %10s %10s\n",
+			b.Name, b.Race.Won, b.Race.Lost, 100*b.Race.WinRate, b.Race.State,
+			time.Duration(b.Latency.P50Ns).Round(time.Microsecond),
+			time.Duration(b.Latency.P99Ns).Round(time.Microsecond))
+	}
 }
 
 func jsonBody(v any) []byte {

@@ -15,10 +15,12 @@
 //     RegisterSites, so the set of failpoints is statically enumerable and
 //     Enable can reject a plan naming a site that does not exist.
 //
-// This package imports nothing from the rest of the repository — the
-// packages it instruments (sched, rectpack, service) import it, so any
-// import back would cycle. The Backend wrapper in backend.go is generic
-// over the scheduler's types for the same reason.
+// This package imports nothing from the rest of the repository except the
+// leaf telemetry package obs (fired failpoints open a "chaos/<site>" span
+// so injected faults are visible in traces) — the packages it instruments
+// (sched, rectpack, service) import it, so any other import back would
+// cycle. The Backend wrapper in backend.go is generic over the scheduler's
+// types for the same reason.
 package chaos
 
 import (
@@ -29,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode is what a firing failpoint does to its caller.
@@ -277,6 +281,11 @@ func (a *Active) hit(ctx context.Context, name string) error {
 	ar.fired++
 	a.fired[name]++
 	a.mu.Unlock()
+
+	// The fault fires: record it on the request trace, if any.
+	_, span := obs.Start(ctx, "chaos/"+name)
+	span.SetAttr("mode", r.Mode.String())
+	defer span.End()
 
 	switch r.Mode {
 	case ModeError:

@@ -19,6 +19,8 @@
 //     sorts in deterministic packages.
 //   - failpoint: chaos.Inject sites only in non-test files, with
 //     compile-time constant site names.
+//   - spanend: every obs.Start/StartTrace span must have a deferred End()
+//     in the same function.
 //
 // A finding that is intentional is suppressed in place with
 // "//soclint:allow <analyzer> <why>" on the same line or the line above;
@@ -43,6 +45,7 @@ func Analyzers() []*analysis.Analyzer {
 		BackendReg,
 		DetSeed,
 		Failpoint,
+		SpanEnd,
 	}
 }
 

@@ -32,8 +32,12 @@ func TestFailpoint(t *testing.T) {
 	linttest.Run(t, []*analysis.Analyzer{lint.Failpoint}, "failpoint")
 }
 
+func TestSpanEnd(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.SpanEnd}, "spanend")
+}
+
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"detrange", "ctxflow", "mutexguard", "backendreg", "detseed", "failpoint"}
+	want := []string{"detrange", "ctxflow", "mutexguard", "backendreg", "detseed", "failpoint", "spanend"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

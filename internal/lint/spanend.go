@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SpanEnd enforces the telemetry span discipline: every span opened with
+// obs.Start or Tracer.StartTrace must be closed by a deferred End() in the
+// same function — either `defer span.End()` directly, or a span.End() call
+// inside a deferred function literal (the middleware and racer cleanup
+// pattern). A span that is never Ended stays open until its root is
+// exported and its duration is clamped, silently corrupting the trace; a
+// non-deferred End misses every early return and panic path. Discarding
+// the span result with _ is flagged too: an unclosable span should not be
+// opened at all (obs.Start on a traceless context is already a free no-op,
+// so there is no performance excuse).
+//
+// The obs package itself is exempt: it implements the machinery, and its
+// tests intentionally leave spans open to pin the clamping behavior.
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "require a deferred End() for every span\n\n" +
+		"obs.Start/StartTrace results must be paired with a deferred span.End()\n" +
+		"in the same function (directly or inside a deferred func literal).",
+	IncludeTests: true,
+	Run:          runSpanEnd,
+}
+
+func runSpanEnd(pass *analysis.Pass) error {
+	if strings.TrimSuffix(pkgBase(pass.Pkg.Path()), "_test") == "obs" {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSpanScope(pass, info, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSpanScope checks one function body's Start calls, recursing into
+// nested function literals — each is its own scope: a goroutine body must
+// defer its own End, and its defers cannot close the enclosing function's
+// spans.
+func checkSpanScope(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkSpanScope(pass, info, n.Body)
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := obsStartFunc(info, call); ok {
+					pass.Reportf(call.Pos(),
+						"obs.%s result discarded; keep the span and defer its End()", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name, ok := obsStartFunc(info, call)
+				if !ok || len(n.Lhs) != 2 {
+					continue
+				}
+				id, ok := n.Lhs[1].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"obs.%s span discarded with _; keep the span and defer its End()", name)
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !hasDeferredEnd(info, body, obj) {
+					pass.Reportf(call.Pos(),
+						"span %s from obs.%s has no deferred End() in this function; early returns and panics would leak it open", id.Name, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasDeferredEnd reports whether the function body defers obj.End(),
+// either directly or anywhere inside a deferred function literal. Nested
+// (non-deferred) function literals do not count: their defers run at their
+// own exit, not the enclosing function's.
+func hasDeferredEnd(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if isEndCall(info, n.Call, obj) {
+				found = true
+				return false
+			}
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isEndCall(info, call, obj) {
+						found = true
+					}
+					return !found
+				})
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isEndCall reports whether the call is <obj>.End().
+func isEndCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// obsStartFunc reports whether the call invokes a span-opening function of
+// a package named obs (obs.Start or a Tracer's StartTrace), returning the
+// function name.
+func obsStartFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "obs" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Start" || name == "StartTrace" {
+		return name, true
+	}
+	return "", false
+}

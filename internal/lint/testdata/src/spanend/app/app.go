@@ -1,0 +1,92 @@
+// Package app exercises the spanend rules in an instrumented package:
+// every opened span needs a deferred End() in the same function.
+package app
+
+import (
+	"context"
+
+	"obs"
+)
+
+var tracer = &obs.Tracer{}
+
+// Good: the canonical pattern.
+func direct(ctx context.Context) {
+	ctx, span := obs.Start(ctx, "direct")
+	defer span.End()
+	_ = ctx
+}
+
+// Good: a root span closed the same way.
+func root(ctx context.Context) {
+	ctx, span := tracer.StartTrace(ctx, "root")
+	defer span.End()
+	_ = ctx
+}
+
+// Good: End inside a deferred function literal (the middleware pattern,
+// where attrs are set after the handler ran).
+func deferredLit(ctx context.Context) {
+	_, span := obs.Start(ctx, "lit")
+	defer func() {
+		span.SetAttr("status", 200)
+		span.End()
+	}()
+}
+
+// Good: a goroutine body is its own scope and defers its own End (the
+// racer pattern).
+func goroutine(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		_, span := obs.Start(ctx, "racer")
+		defer span.End()
+		close(done)
+	}()
+	<-done
+}
+
+// Bad: no End at all — the span leaks open until its root is exported.
+func leak(ctx context.Context) {
+	_, span := obs.Start(ctx, "leak") // want "no deferred End"
+	span.SetAttr("k", "v")
+}
+
+// Bad: a non-deferred End misses early returns and panic paths.
+func notDeferred(ctx context.Context, fail bool) error {
+	_, span := obs.Start(ctx, "plain") // want "no deferred End"
+	if fail {
+		return context.Canceled
+	}
+	span.End()
+	return nil
+}
+
+// Bad: the span result is discarded, so nothing can ever End it.
+func discarded(ctx context.Context) context.Context {
+	ctx, _ = obs.Start(ctx, "anon") // want "discarded with _"
+	return ctx
+}
+
+// Bad: both results dropped on the floor.
+func dropped(ctx context.Context) {
+	obs.Start(ctx, "dropped") // want "result discarded"
+}
+
+// Bad: a goroutine's deferred End cannot close the enclosing function's
+// span — the defer runs at the goroutine's exit, racing the caller.
+func wrongScope(ctx context.Context) {
+	_, span := obs.Start(ctx, "outer") // want "no deferred End"
+	done := make(chan struct{})
+	go func() {
+		defer span.End()
+		close(done)
+	}()
+	<-done
+}
+
+// Good: a StartTrace whose End is deferred inside the cleanup literal.
+func rootLit(ctx context.Context) {
+	_, span := tracer.StartTrace(ctx, "job")
+	defer func() { span.End() }()
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time // guarded by mu
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTraceTree pins span nesting, attrs, timings under an injected
+// clock, and the exported JSON shape.
+func TestTraceTree(t *testing.T) {
+	tr := NewTracer(4)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr.SetClock(clk.now)
+
+	ctx, root := tr.StartTrace(context.Background(), "GET /x")
+	if root == nil || root.TraceID() != "t00000001" {
+		t.Fatalf("root trace ID = %q, want t00000001", root.TraceID())
+	}
+	root.SetAttr("status", 200)
+	clk.advance(10 * time.Millisecond)
+
+	cctx, child := Start(ctx, "backend/classic")
+	if child == nil || child.TraceID() != root.TraceID() {
+		t.Fatal("child span missing or in a different trace")
+	}
+	child.SetAttr("makespan", int64(42))
+	clk.advance(5 * time.Millisecond)
+	_, grand := Start(cctx, "racer/rectpack")
+	clk.advance(1 * time.Millisecond)
+	grand.End()
+	child.End()
+	clk.advance(2 * time.Millisecond)
+	root.End()
+
+	td, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained after root End")
+	}
+	if td.SpanCount() != 3 {
+		t.Fatalf("SpanCount = %d, want 3", td.SpanCount())
+	}
+	if td.Root.Name != "GET /x" || td.Root.StartNs != 0 || td.Root.DurNs != (18*time.Millisecond).Nanoseconds() {
+		t.Fatalf("root span = %+v", td.Root)
+	}
+	if got := td.Root.Attrs["status"]; got != 200 {
+		t.Fatalf("root attrs = %v", td.Root.Attrs)
+	}
+	c := td.Root.Children[0]
+	if c.Name != "backend/classic" || c.StartNs != (10*time.Millisecond).Nanoseconds() || c.DurNs != (6*time.Millisecond).Nanoseconds() {
+		t.Fatalf("child span = %+v", c)
+	}
+	g := c.Children[0]
+	if g.Name != "racer/rectpack" || g.StartNs != (15*time.Millisecond).Nanoseconds() || g.DurNs != (1*time.Millisecond).Nanoseconds() {
+		t.Fatalf("grandchild span = %+v", g)
+	}
+
+	raw, err := json.Marshal(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceData
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != "t00000001" || back.SpanCount() != 3 {
+		t.Fatalf("JSON round trip = %+v", back)
+	}
+}
+
+// TestTraceRing checks the completed-trace ring evicts oldest-first.
+func TestTraceRing(t *testing.T) {
+	tr := NewTracer(2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, sp := tr.StartTrace(context.Background(), fmt.Sprintf("op%d", i))
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("oldest trace survived past capacity")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("trace %s evicted too early", id)
+		}
+	}
+}
+
+// TestNilSafety: spans off a traceless context, nil contexts, and nil
+// tracers are all silent no-ops — the instrumented hot paths rely on it.
+func TestNilSafety(t *testing.T) {
+	ctx, span := Start(context.Background(), "untraced")
+	if span != nil {
+		t.Fatal("Start without a trace returned a live span")
+	}
+	span.SetAttr("k", "v")
+	span.End()
+	if span.TraceID() != "" || span.Name() != "" {
+		t.Fatal("nil span leaked identity")
+	}
+	if ctx != context.Background() {
+		t.Fatal("Start without a trace derived a new context")
+	}
+	var nilCtx context.Context // chaos.Inject sites pass a nil ctx through
+	if ctx2, sp := Start(nilCtx, "nil-ctx"); sp != nil || ctx2 != nil {
+		t.Fatal("Start(nil) not a no-op")
+	}
+	var tr *Tracer
+	if _, sp := tr.StartTrace(context.Background(), "off"); sp != nil {
+		t.Fatal("nil tracer started a span")
+	}
+	if _, ok := tr.Get("t00000001"); ok || tr.Len() != 0 {
+		t.Fatal("nil tracer returned a trace")
+	}
+}
+
+// TestConcurrentChildren races child creation and attrs against the root
+// ending, as parallel portfolio racers do (meaningful under -race).
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartTrace(context.Background(), "race")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, fmt.Sprintf("racer%d", i))
+			sp.SetAttr("i", i)
+			if i%2 == 0 {
+				sp.End() // odd racers stay open: abandoned, clamped at export
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	td, ok := tr.Get(root.TraceID())
+	if !ok || td.SpanCount() != 9 {
+		t.Fatalf("trace = %+v, ok=%v", td, ok)
+	}
+	for _, c := range td.Root.Children {
+		if c.DurNs < 0 {
+			t.Fatalf("span %s exported negative duration %d", c.Name, c.DurNs)
+		}
+	}
+}
+
+// TestDoubleEnd: the first End wins; a second End neither re-publishes
+// nor changes the recorded duration.
+func TestDoubleEnd(t *testing.T) {
+	tr := NewTracer(4)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	tr.SetClock(clk.now)
+	_, root := tr.StartTrace(context.Background(), "op")
+	clk.advance(time.Millisecond)
+	root.End()
+	clk.advance(time.Hour)
+	root.End()
+	td, _ := tr.Get(root.TraceID())
+	if td.Root.DurNs != time.Millisecond.Nanoseconds() {
+		t.Fatalf("DurNs = %d, want 1ms", td.Root.DurNs)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after double End", tr.Len())
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/constraint"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/rect"
 	"repro/internal/sched"
@@ -83,6 +84,9 @@ func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := obs.Start(ctx, "rectpack/pack")
+	defer span.End()
+	defer obs.TimeStage("rectpack/pack")()
 	if err := chaos.InjectContext(ctx, siteSchedule); err != nil {
 		return nil, err
 	}
@@ -140,6 +144,8 @@ func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched
 	if best == nil {
 		return nil, fmt.Errorf("rectpack: every strategy failed: %w", firstErr)
 	}
+	span.SetAttr("strategies", len(strategies()))
+	span.SetAttr("makespan", best.makespan)
 	return emit(opt, params, best)
 }
 

@@ -11,6 +11,7 @@ package resil
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,10 +47,11 @@ func (s BreakerState) String() string {
 // breaker, its Failure re-opens it for another cooldown. Any Success fully
 // resets the failure streak. The zero value is not usable; call NewBreaker.
 type Breaker struct {
-	mu        sync.Mutex
-	threshold int              // consecutive failures that open the breaker
-	cooldown  time.Duration    // open duration before half-open probing
-	now       func() time.Time // injectable clock for tests
+	mu          sync.Mutex
+	threshold   int              // consecutive failures that open the breaker
+	cooldown    time.Duration    // open duration before half-open probing
+	now         func() time.Time // injectable clock for tests
+	transitions atomic.Int64     // cumulative state changes, for /v1/backends
 
 	state    BreakerState // guarded by mu
 	failures int          // guarded by mu; consecutive failures seen
@@ -89,6 +91,7 @@ func (b *Breaker) Allow() bool {
 			return false
 		}
 		b.state = BreakerHalfOpen
+		b.transitions.Add(1)
 		b.probing = true
 		return true
 	case BreakerHalfOpen:
@@ -106,6 +109,9 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.transitions.Add(1)
+	}
 	b.state = BreakerClosed
 	b.failures = 0
 	b.probing = false
@@ -123,12 +129,21 @@ func (b *Breaker) Failure() {
 		if b.failures >= b.threshold {
 			b.state = BreakerOpen
 			b.openedAt = b.now()
+			b.transitions.Add(1)
 		}
 	case BreakerHalfOpen:
 		b.state = BreakerOpen
 		b.openedAt = b.now()
 		b.probing = false
+		b.transitions.Add(1)
 	}
+}
+
+// Transitions returns the cumulative number of state changes the breaker
+// has made (closed→open, open→half-open, half-open→open/closed) — the
+// "breaker flips" counter surfaced per backend on /v1/backends.
+func (b *Breaker) Transitions() int64 {
+	return b.transitions.Load()
 }
 
 // State returns the current circuit state. An open breaker whose cooldown

@@ -313,3 +313,37 @@ func TestRetryRealBackoffSleep(t *testing.T) {
 		t.Fatalf("Retry = (%q, %v) after %d calls, want (\"ok\", nil) after 2", v, err, calls)
 	}
 }
+
+// TestBreakerTransitions counts every state change across a full
+// open → half-open → re-open → half-open → close lifecycle.
+func TestBreakerTransitions(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Minute)
+	if got := b.Transitions(); got != 0 {
+		t.Fatalf("fresh breaker Transitions = %d", got)
+	}
+	b.Failure()
+	b.Success() // closed → closed: a success while closed is not a transition
+	if got := b.Transitions(); got != 0 {
+		t.Fatalf("Transitions after closed-state churn = %d", got)
+	}
+	b.Failure()
+	b.Failure() // closed → open
+	if got := b.Transitions(); got != 1 {
+		t.Fatalf("Transitions after opening = %d, want 1", got)
+	}
+	clk.advance(time.Minute)
+	b.Allow()   // open → half-open
+	b.Failure() // half-open → open
+	if got := b.Transitions(); got != 3 {
+		t.Fatalf("Transitions after failed probe = %d, want 3", got)
+	}
+	clk.advance(time.Minute)
+	b.Allow()   // open → half-open
+	b.Success() // half-open → closed
+	if got := b.Transitions(); got != 5 {
+		t.Fatalf("Transitions after recovery = %d, want 5", got)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("State = %v, want closed", b.State())
+	}
+}

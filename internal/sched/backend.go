@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/resil"
 )
 
@@ -105,7 +106,18 @@ func (o *Optimizer) ScheduleBackend(ctx context.Context, params Params) (*Schedu
 	if err != nil {
 		return nil, err
 	}
-	return b.Schedule(ctx, o, params)
+	ctx, span := obs.Start(ctx, "backend/"+b.Name())
+	defer span.End()
+	start := time.Now()
+	sch, err := b.Schedule(ctx, o, params)
+	obs.Backends.Observe(b.Name(), time.Since(start))
+	if sch != nil {
+		span.SetAttr("makespan", sch.Makespan)
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return sch, err
 }
 
 // Failpoint sites compiled into this package's hot paths; the chaos suite
@@ -152,6 +164,12 @@ type BackendRaceStats struct {
 	// State is the breaker state ("closed", "open", "half-open"), or
 	// "exempt" for classic, which is never quarantined.
 	State string `json:"state"`
+	// WinRate is Won/(Won+Lost) — the fraction of decided races this
+	// backend's schedule won (0 when it never finished a race).
+	WinRate float64 `json:"winRate"`
+	// BreakerTransitions counts the backend's breaker state changes
+	// (0 for the exempt classic backend).
+	BreakerTransitions int64 `json:"breakerTransitions"`
 }
 
 // racerHealth is one backend's breaker plus its race record.
@@ -205,6 +223,10 @@ func PortfolioStats() map[string]BackendRaceStats {
 			s.State = "exempt"
 		} else {
 			s.State = h.breaker.State().String()
+			s.BreakerTransitions = h.breaker.Transitions()
+		}
+		if decided := s.Won + s.Lost; decided > 0 {
+			s.WinRate = float64(s.Won) / float64(decided)
 		}
 		out[name] = s
 	}
@@ -316,20 +338,29 @@ func runRacer(raceCtx context.Context, b Backend, opt *Optimizer, params Params)
 	}
 	ch := make(chan rres, 1) // buffered: an abandoned racer's send never blocks
 	go func() {
+		sctx, span := obs.Start(rctx, "racer/"+b.Name())
+		start := time.Now()
 		var r rres
 		defer func() {
 			if p := recover(); p != nil {
 				r = rres{nil, fmt.Errorf("sched: backend %s panicked: %v", b.Name(), p)}
 			}
+			obs.Backends.Observe(b.Name(), time.Since(start))
+			if r.err != nil {
+				span.SetAttr("error", r.err.Error())
+			} else if r.sch != nil {
+				span.SetAttr("makespan", r.sch.Makespan)
+			}
+			span.End()
 			ch <- r
 		}()
-		if err := chaos.InjectContext(rctx, sitePortfolioRacer); err != nil {
+		if err := chaos.InjectContext(sctx, sitePortfolioRacer); err != nil {
 			r = rres{nil, err}
 			return
 		}
 		p := params
 		p.Backend = b.Name()
-		sch, err := b.Schedule(rctx, opt, p)
+		sch, err := b.Schedule(sctx, opt, p)
 		if err == nil {
 			err = opt.Verify(sch)
 		}
@@ -407,6 +438,11 @@ func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params
 	}
 	floor := optimalityFloor(opt, params)
 	admitted, benched := pb.admit(racers)
+	ctx, span := obs.Start(ctx, "portfolio/race")
+	defer span.End()
+	span.SetAttr("racers", len(admitted))
+	span.SetAttr("benched", len(benched))
+	span.SetAttr("floor", floor)
 	best, raceErr := pb.race(ctx, opt, params, admitted, floor)
 	if err := ctx.Err(); err != nil {
 		return nil, err

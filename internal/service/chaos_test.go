@@ -82,7 +82,7 @@ func TestChaosRegistrySingleflightBuildError(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = r.Planner("demo8")
+			_, errs[i] = r.Planner(context.Background(), "demo8")
 		}(i)
 	}
 	wg.Wait()
@@ -104,7 +104,7 @@ func TestChaosRegistrySingleflightBuildError(t *testing.T) {
 	// failed < callers is fine.
 
 	// The failure must not be cached: the next call rebuilds and succeeds.
-	p, err := r.Planner("demo8")
+	p, err := r.Planner(context.Background(), "demo8")
 	if err != nil || p == nil {
 		t.Fatalf("rebuild after injected failure: planner=%v err=%v", p, err)
 	}

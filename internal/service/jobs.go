@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of an async job.
@@ -60,6 +61,7 @@ type Job struct {
 	state   JobState // guarded by Jobs.mu
 	result  any      // guarded by Jobs.mu
 	err     error    // guarded by Jobs.mu
+	trace   string   // guarded by Jobs.mu; trace ID once the job ran
 	created time.Time
 	started time.Time // guarded by Jobs.mu
 	ended   time.Time // guarded by Jobs.mu
@@ -86,6 +88,9 @@ type JobStatus struct {
 	Started  time.Time `json:"started,omitzero"`
 	Ended    time.Time `json:"ended,omitzero"`
 	Duration string    `json:"duration,omitempty"`
+	// TraceID names the job's execution trace (GET /v1/traces/{id}),
+	// present once the job has started on a pool with tracing enabled.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Jobs is a bounded asynchronous job pool: a fixed set of workers drains a
@@ -102,6 +107,7 @@ type Jobs struct {
 	queueWait time.Duration // immutable after NewJobs; 0 = unbounded
 	qTimeouts int64         // guarded by mu; jobs failed by the queue-wait deadline
 	closed    bool          // guarded by mu
+	tracer    *obs.Tracer   // immutable after SetTracer; nil = tracing off
 	baseCtx   context.Context
 	stopAll   context.CancelFunc
 	wg        sync.WaitGroup
@@ -150,6 +156,11 @@ func NewJobs(workers, queue, retained int, queueWait time.Duration) *Jobs {
 	}
 	return j
 }
+
+// SetTracer enables per-job execution traces. Call it before the pool
+// receives work (the server does, right after New); a nil tracer leaves
+// tracing off.
+func (j *Jobs) SetTracer(t *obs.Tracer) { j.tracer = t }
 
 // Submit enqueues a job. run receives a context cancelled by Cancel (or by
 // Close) and should return promptly once it is done; returning the
@@ -250,6 +261,7 @@ func (j *Jobs) Snapshot(jb *Job) JobStatus {
 	if !jb.started.IsZero() && !jb.ended.IsZero() {
 		st.Duration = jb.ended.Sub(jb.started).String()
 	}
+	st.TraceID = jb.trace
 	return st
 }
 
@@ -311,7 +323,7 @@ func (j *Jobs) worker() {
 		run, ctx := jb.run, jb.ctx
 		j.mu.Unlock()
 
-		result, err := runJob(run, ctx)
+		result, err := j.runTraced(jb, run, ctx)
 
 		j.mu.Lock()
 		jb.ended = time.Now()
@@ -327,6 +339,25 @@ func (j *Jobs) worker() {
 		j.mu.Unlock()
 		jb.cancel() // release the context's resources
 	}
+}
+
+// runTraced runs one job under its own trace ("job/<kind>"), recording the
+// trace ID on the job and the run duration in the stage histograms. With no
+// tracer set it is exactly runJob.
+func (j *Jobs) runTraced(jb *Job, run func(context.Context) (any, error), ctx context.Context) (any, error) {
+	tctx, span := j.tracer.StartTrace(ctx, "job/"+jb.kind)
+	defer span.End()
+	if span != nil {
+		j.mu.Lock()
+		jb.trace = span.TraceID()
+		j.mu.Unlock()
+	}
+	defer obs.TimeStage("jobs/run")()
+	result, err := runJob(run, tctx)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return result, err
 }
 
 // runJob executes one job body, converting a panic into a failed-job

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -27,7 +32,8 @@ type Metrics struct {
 // MetricsSnapshot is the JSON form of the counters plus registry/job
 // state, served by GET /metrics. Backends carries every backend's
 // cumulative portfolio-race record (races won/lost/failed/timed-out and
-// quarantine benchings, plus its breaker state).
+// quarantine benchings, breaker state and transitions, win rate); Latency
+// carries the per-route, per-backend, and per-stage latency histograms.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                           `json:"uptimeSeconds"`
 	Requests      int64                             `json:"requests"`
@@ -42,6 +48,7 @@ type MetricsSnapshot struct {
 	Registry      RegistryStats                     `json:"registry"`
 	Jobs          JobsStats                         `json:"jobs"`
 	Backends      map[string]sched.BackendRaceStats `json:"backends"`
+	Latency       obs.Latency                       `json:"latency"`
 }
 
 // statusWriter captures the response status for logging and metrics.
@@ -64,34 +71,162 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// middleware wraps the API mux with panic recovery, request logging, and
-// the request counters. A panic in a handler becomes a 500 with a JSON
-// body instead of tearing down the connection state.
+// Status returns the response status for accounting. A handler that
+// returned without writing anything left net/http's implicit 200 in
+// place, so an unwritten response reports 200, not 0.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// routeLabel normalizes a request to its route pattern (path parameters
+// collapsed) for the per-route latency histograms and trace names, so
+// /v1/jobs/job-000042 and /v1/jobs/job-000007 share one series.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		switch {
+		case strings.HasSuffix(p, "/result"):
+			p = "/v1/jobs/{id}/result"
+		case strings.HasSuffix(p, "/cancel"):
+			p = "/v1/jobs/{id}/cancel"
+		default:
+			p = "/v1/jobs/{id}"
+		}
+	case strings.HasPrefix(p, "/v1/socs/"):
+		p = "/v1/socs/{key}"
+	case strings.HasPrefix(p, "/v1/traces/"):
+		p = "/v1/traces/{id}"
+	}
+	return r.Method + " " + p
+}
+
+// responseRecorder buffers a handler's response so the middleware can
+// wrap it in a trace envelope afterwards (?debug=trace).
+type responseRecorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newResponseRecorder() *responseRecorder {
+	return &responseRecorder{header: make(http.Header)}
+}
+
+func (rr *responseRecorder) Header() http.Header { return rr.header }
+
+func (rr *responseRecorder) WriteHeader(code int) {
+	if rr.status == 0 {
+		rr.status = code
+	}
+}
+
+func (rr *responseRecorder) Write(b []byte) (int, error) {
+	if rr.status == 0 {
+		rr.status = http.StatusOK
+	}
+	return rr.buf.Write(b)
+}
+
+// tracedResponse is the ?debug=trace envelope: the request's span tree
+// plus the exact response document the handler produced.
+type tracedResponse struct {
+	Trace  obs.TraceData   `json:"trace"`
+	Result json.RawMessage `json:"result"`
+}
+
+// middleware wraps the API mux with panic recovery, structured request
+// logging, the request counters, and per-request tracing: every request
+// runs under a root span (ID echoed in X-Trace-Id, tree retained for
+// GET /v1/traces/{id}), its latency lands in the per-route histograms,
+// and ?debug=trace returns the handler's JSON answer wrapped in a trace
+// envelope. A panic in a handler becomes a 500 with a JSON body instead
+// of tearing down the connection state.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.requests.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
+
+		route := routeLabel(r)
+		ctx, span := s.tracer.StartTrace(r.Context(), route)
+		traceID := span.TraceID()
+		if span != nil {
+			span.SetAttr("path", r.URL.Path)
+			w.Header().Set("X-Trace-Id", traceID)
+			r = r.WithContext(ctx)
+		}
+
+		var rec *responseRecorder
 		sw := &statusWriter{ResponseWriter: w}
+		if span != nil && r.URL.Query().Get("debug") == "trace" {
+			rec = newResponseRecorder()
+			sw = &statusWriter{ResponseWriter: rec}
+		}
 		defer func() {
-			if rec := recover(); rec != nil {
+			if p := recover(); p != nil {
 				s.metrics.panics.Add(1)
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.logf("msg=panic method=%s path=%s trace=%s err=%q\n%s",
+					r.Method, r.URL.Path, traceID, fmt.Sprint(p), debug.Stack())
 				if sw.status == 0 {
 					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
 				}
 			}
+			status := sw.Status()
 			switch {
-			case sw.status >= 500:
+			case status >= 500:
 				s.metrics.status5xx.Add(1)
-			case sw.status >= 400:
+			case status >= 400:
 				s.metrics.status4xx.Add(1)
 			}
-			s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			obs.Routes.Observe(route, elapsed)
+			span.SetAttr("status", status)
+			span.End()
+			s.logf("method=%s path=%s status=%d dur=%s trace=%s",
+				r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond), traceID)
+			if rec != nil {
+				s.writeTraced(w, rec, traceID)
+			}
 		}()
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// writeTraced replays a buffered response, wrapping a JSON document in
+// the tracedResponse envelope now that the root span has ended and the
+// full tree is retrievable. Non-JSON answers (the gantt SVG) pass through
+// unwrapped — the trace is still reachable via X-Trace-Id.
+func (s *Server) writeTraced(w http.ResponseWriter, rec *responseRecorder, traceID string) {
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	keys := make([]string, 0, len(rec.header))
+	for k := range rec.header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range rec.header[k] {
+			w.Header().Add(k, v)
+		}
+	}
+	td, ok := s.tracer.Get(traceID)
+	if !ok || !strings.Contains(rec.header.Get("Content-Type"), "json") {
+		w.WriteHeader(status)
+		_, _ = w.Write(rec.buf.Bytes())
+		return
+	}
+	result := json.RawMessage("null")
+	if rec.buf.Len() > 0 {
+		result = json.RawMessage(rec.buf.Bytes())
+	}
+	writeJSON(w, status, tracedResponse{Trace: td, Result: result})
 }
 
 // logf logs through the configured logger; a nil logger silences the

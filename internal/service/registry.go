@@ -8,6 +8,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/soc"
 	"repro/internal/socfile"
 )
@@ -50,6 +52,7 @@ type Registry struct {
 
 	builds    atomic.Int64
 	evictions atomic.Int64
+	hits      atomic.Int64 // Planner calls answered from the cache
 }
 
 // plannerEntry is one singleflight-guarded Planner slot. The builder
@@ -132,18 +135,25 @@ func (r *Registry) SOC(key string) (*soc.SOC, string, error) {
 // build; distinct fingerprints build independently. A successful build
 // enters the LRU (possibly evicting the least-recently-used completed
 // Planner); a failed build is not cached, so the error is re-derived on
-// retry.
-func (r *Registry) Planner(key string) (*repro.Planner, error) {
+// retry. ctx carries the request trace (a "registry/planner" span records
+// whether the wrapper-design cache hit); it does not cancel the build —
+// waiters sharing the singleflight would inherit the abandonment.
+func (r *Registry) Planner(ctx context.Context, key string) (*repro.Planner, error) {
 	fp, ok := r.Resolve(key)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownSOC, key)
 	}
+	_, span := obs.Start(ctx, "registry/planner")
+	defer span.End()
+	span.SetAttr("soc", fp)
 	r.mu.Lock()
 	if pe, ok := r.planners[fp]; ok {
 		if pe.elem != nil {
 			r.lru.MoveToFront(pe.elem)
 		}
 		r.mu.Unlock()
+		r.hits.Add(1)
+		span.SetAttr("cached", true)
 		<-pe.ready
 		return pe.planner, pe.err
 	}
@@ -154,11 +164,14 @@ func (r *Registry) Planner(key string) (*repro.Planner, error) {
 	r.evictLocked(pe)
 	r.mu.Unlock()
 
+	span.SetAttr("cached", false)
+	buildDone := obs.TimeStage("registry/build")
 	var planner *repro.Planner
-	err := chaos.Inject(siteRegistryBuild)
+	err := chaos.InjectContext(ctx, siteRegistryBuild)
 	if err == nil {
 		planner, err = repro.NewPlanner(s)
 	}
+	buildDone()
 	r.builds.Add(1)
 
 	r.mu.Lock()
@@ -242,6 +255,7 @@ type RegistryStats struct {
 	Planners  int   `json:"planners"`
 	Builds    int64 `json:"plannerBuilds"`
 	Evictions int64 `json:"plannerEvictions"`
+	Hits      int64 `json:"plannerHits"`
 }
 
 // Stats snapshots the registry counters.
@@ -254,5 +268,6 @@ func (r *Registry) Stats() RegistryStats {
 		Planners:  planners,
 		Builds:    r.builds.Load(),
 		Evictions: r.evictions.Load(),
+		Hits:      r.hits.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -46,7 +47,7 @@ func TestRegistryAddDedupAndResolve(t *testing.T) {
 	if _, ok := r.Resolve("nope"); ok {
 		t.Fatal("Resolve accepted an unknown key")
 	}
-	if _, err := r.Planner("nope"); !errors.Is(err, ErrUnknownSOC) {
+	if _, err := r.Planner(context.Background(), "nope"); !errors.Is(err, ErrUnknownSOC) {
 		t.Fatalf("Planner(nope) err = %v, want ErrUnknownSOC", err)
 	}
 }
@@ -101,7 +102,7 @@ func TestRegistrySingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			k := i % socs
-			p, err := r.Planner(keys[k])
+			p, err := r.Planner(context.Background(), keys[k])
 			if err != nil {
 				t.Errorf("Planner(%d): %v", k, err)
 				return
@@ -143,7 +144,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	}
 	planners := make([]any, 3)
 	for i, k := range keys {
-		p, err := r.Planner(k)
+		p, err := r.Planner(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	}
 
 	// keys[0] was the LRU victim: requesting it again is a fresh build.
-	p0, err := r.Planner(keys[0])
+	p0, err := r.Planner(context.Background(), keys[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	}
 
 	// keys[2] stayed cached through the re-build (it evicted keys[1]).
-	p2, err := r.Planner(keys[2])
+	p2, err := r.Planner(context.Background(), keys[2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestRegistryConcurrentMixedWithEviction(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				k := keys[(g+i)%socs]
-				if _, err := r.Planner(k); err != nil {
+				if _, err := r.Planner(context.Background(), k); err != nil {
 					t.Errorf("Planner: %v", err)
 				}
 				r.List()

@@ -15,6 +15,7 @@ import (
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/sched"
 	"repro/internal/socfile"
@@ -64,6 +65,7 @@ type Server struct {
 	reg        *Registry
 	jobs       *Jobs
 	metrics    Metrics
+	tracer     *obs.Tracer
 	sem        *resil.Semaphore
 	maxTimeout time.Duration
 	draining   atomic.Bool
@@ -88,11 +90,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		reg:        NewRegistry(cfg.PlannerCapacity),
 		jobs:       NewJobs(cfg.JobWorkers, cfg.JobQueue, cfg.JobRetained, cfg.JobQueueWait),
+		tracer:     obs.NewTracer(0),
 		sem:        resil.NewSemaphore(maxConcurrent),
 		maxTimeout: maxTimeout,
 		log:        cfg.Logger,
 		start:      time.Now(),
 	}
+	s.jobs.SetTracer(s.tracer)
 	names := cfg.Preload
 	if len(names) == 1 && names[0] == "all" {
 		names = builtinNames
@@ -125,6 +129,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.handler = s.middleware(mux)
 	return s, nil
 }
@@ -137,6 +143,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Jobs exposes the async job pool (metrics, tests).
 func (s *Server) Jobs() *Jobs { return s.jobs }
+
+// Tracer exposes the request tracer (tests, tools).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // BeginDrain flips /readyz to 503 so load balancers stop routing here;
 // in-flight work is unaffected. Call it before http.Server.Shutdown.
@@ -257,6 +266,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"GET  /v1/jobs/{id}",
 			"GET  /v1/jobs/{id}/result",
 			"POST /v1/jobs/{id}/cancel",
+			"GET  /v1/backends",
+			"GET  /v1/traces/{id}",
 		},
 	})
 }
@@ -291,7 +302,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Registry:      s.reg.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Backends:      sched.PortfolioStats(),
+		Latency:       obs.LatencySnapshot(),
 	})
+}
+
+// BackendInfo is one row of GET /v1/backends: a registered backend's race
+// record and its observed scheduling latency.
+type BackendInfo struct {
+	Name string `json:"name"`
+	// Race is the backend's cumulative portfolio-race record. A backend
+	// that never raced reports State "idle" and zero counters.
+	Race sched.BackendRaceStats `json:"race"`
+	// Latency summarizes every observed scheduling run of this backend
+	// (direct dispatch and portfolio racer legs alike).
+	Latency obs.HistSnapshot `json:"latency"`
+}
+
+// handleBackends answers GET /v1/backends: every registered backend with
+// its race record, quarantine state, and latency quantiles, sorted by
+// name.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	race := sched.PortfolioStats()
+	lat := obs.Backends.Snapshot()
+	out := make([]BackendInfo, 0, 4)
+	for _, name := range sched.Backends() {
+		info := BackendInfo{Name: name, Latency: lat[name]}
+		if st, ok := race[name]; ok {
+			info.Race = st
+		} else {
+			info.Race.State = "idle"
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
+}
+
+// handleTraceGet serves a retained trace by ID (the X-Trace-Id of a past
+// response, or a job's traceId).
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	td, ok := s.tracer.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (ring retains the last %d)", r.PathValue("id"), obs.DefaultTraceCapacity))
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
 }
 
 func (s *Server) handleSOCList(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +452,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 		return
 	}
 	defer release()
-	planner, ok := s.plannerFor(w, req.SOC)
+	planner, ok := s.plannerFor(w, r, req.SOC)
 	if !ok {
 		return
 	}
@@ -429,6 +483,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 // rather than in the HTTP middleware so an abandoned worker can never
 // crash the process.
 func (s *Server) runSchedule(ctx context.Context, planner *repro.Planner, opts repro.Options, best bool) (*repro.TestSchedule, error) {
+	defer obs.TimeStage("service/schedule")()
 	if err := chaos.InjectContext(ctx, siteSchedule); err != nil {
 		return nil, err
 	}
@@ -565,7 +620,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer release()
-		planner, ok := s.plannerFor(w, fp)
+		planner, ok := s.plannerFor(w, r, fp)
 		if !ok {
 			return
 		}
@@ -585,7 +640,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// registry rebuilds on the next call) are retried with seeded
 		// jittered backoff rather than failing the whole job.
 		sw, err := resil.Retry(ctx, resil.RetryConfig{}, func(ctx context.Context) (*repro.WidthSweep, error) {
-			planner, err := s.reg.Planner(fp)
+			planner, err := s.reg.Planner(ctx, fp)
 			if err != nil {
 				return nil, err
 			}
@@ -638,7 +693,7 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	planner, ok := s.plannerFor(w, req.SOC)
+	planner, ok := s.plannerFor(w, r, req.SOC)
 	if !ok {
 		return
 	}
@@ -676,7 +731,7 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	planner, ok := s.plannerFor(w, req.SOC)
+	planner, ok := s.plannerFor(w, r, req.SOC)
 	if !ok {
 		return
 	}
@@ -735,9 +790,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // plannerFor resolves a SOC key to its Planner, writing the HTTP error on
-// failure.
-func (s *Server) plannerFor(w http.ResponseWriter, key string) (*repro.Planner, bool) {
-	planner, err := s.reg.Planner(key)
+// failure. The request context carries the trace the build span lands on.
+func (s *Server) plannerFor(w http.ResponseWriter, r *http.Request, key string) (*repro.Planner, bool) {
+	planner, err := s.reg.Planner(r.Context(), key)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, ErrUnknownSOC) {
