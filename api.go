@@ -155,6 +155,30 @@ func (p *Planner) ScheduleBestContext(ctx context.Context, opts Options) (*TestS
 	return p.opt.ScheduleBackend(ctx, opts)
 }
 
+// BatchItem is one scheduling request in a Planner.ScheduleBatch call:
+// the run's Options plus the mode bit (Best selects the backend's
+// best-schedule mode, exactly the Schedule vs ScheduleBest split).
+type BatchItem = sched.BatchItem
+
+// BatchResult is one batch item's outcome: the schedule or the item's own
+// error. Items deduplicated inside a batch share one *TestSchedule —
+// treat it as read-only.
+type BatchResult = sched.BatchResult
+
+// ScheduleBatch runs many scheduling requests against the Planner's
+// cached designs with a bounded worker pool and returns one result per
+// item, in item order. Identical items (same canonical parameters; the
+// Workers knob is not semantic) are computed once and share the result,
+// giving library callers the same batching and deduplication semantics as
+// the service's POST /v1/batch endpoint and its content-addressed result
+// cache. One failing item never fails the batch — its error lands in its
+// own result slot. workers bounds the fan-out (0 = GOMAXPROCS, 1 =
+// sequential); results are identical for any worker count. Once ctx is
+// done, unstarted items fail with ctx's error.
+func (p *Planner) ScheduleBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	return p.opt.ScheduleBatch(ctx, items, workers)
+}
+
 // SOC returns the Planner's SOC (read-only; mutating it invalidates the
 // Planner's caches).
 func (p *Planner) SOC() *SOC { return p.opt.SOC() }

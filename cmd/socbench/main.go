@@ -252,6 +252,42 @@ func runBenchJSON(path, note string) {
 				do()
 			}
 		}},
+		{"ServiceBatchColdD695", func(b *testing.B) {
+			// One 8-width /v1/batch round-trip per op against a fresh
+			// service each time, so every item is a cache miss.
+			body := batchBody(b)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc, err := service.New(service.Config{Preload: []string{"d695"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(svc.Handler())
+				b.StartTimer()
+				postBatch(b, ts, body)
+				b.StopTimer()
+				ts.Close()
+				svc.Close()
+				b.StartTimer()
+			}
+		}},
+		{"ServiceBatchWarmD695", func(b *testing.B) {
+			// The identical batch against one long-lived service: after the
+			// untimed warm-up, every op is served from the result cache.
+			svc, err := service.New(service.Config{Preload: []string{"d695"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+			body := batchBody(b)
+			postBatch(b, ts, body)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				postBatch(b, ts, body)
+			}
+		}},
 	}
 	rep := benchJSONReport{
 		Schema: "socbench-benchjson/v1",
@@ -282,6 +318,38 @@ func runBenchJSON(path, note string) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
+	}
+}
+
+// batchBody builds the 8-width d695 /v1/batch payload the batch
+// workloads send (Workers: 1 per item, like every workload here).
+func batchBody(b *testing.B) []byte {
+	var items []map[string]any
+	for w := 12; w <= 40; w += 4 {
+		items = append(items, map[string]any{
+			"soc":    "d695",
+			"params": service.ParamsJSON{TAMWidth: w, Workers: 1},
+		})
+	}
+	body, err := json.Marshal(map[string]any{"items": items, "workers": 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// postBatch sends one /v1/batch request and requires every item to land.
+func postBatch(b *testing.B, ts *httptest.Server, body []byte) {
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", resp.StatusCode)
 	}
 }
 

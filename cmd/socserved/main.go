@@ -1,15 +1,17 @@
 // Command socserved serves the repro framework over HTTP: upload SOC test
-// descriptions (.soc text or JSON), schedule them (single runs or
-// grid-swept best), run TAM width sweeps as cancellable async jobs, pick
-// effective widths, and render Gantt SVGs. Responses are byte-identical
-// to the library's direct Planner answers.
+// descriptions (.soc text or JSON), schedule them (single runs, grid-swept
+// best, or many at once via /v1/batch), run TAM width sweeps as
+// cancellable async jobs, pick effective widths, and render Gantt SVGs.
+// Responses are byte-identical to the library's direct Planner answers,
+// and repeat schedule requests are served from a content-addressed result
+// cache (hit/miss/eviction counters on /metrics).
 //
 // Usage:
 //
 //	socserved [-addr :8080] [-planners 32] [-job-workers N]
 //	          [-job-queue 64] [-jobs-retained 256] [-queue-wait 30s]
-//	          [-max-concurrent 64] [-max-timeout 60s] [-preload all] [-quiet]
-//	          [-pprof]
+//	          [-max-concurrent 64] [-max-timeout 60s] [-cache-bytes 67108864]
+//	          [-preload all] [-quiet] [-pprof]
 //
 // See the README's "Running as a service" section for curl examples.
 package main
@@ -44,6 +46,7 @@ func main() {
 		queueWait = flag.Duration("queue-wait", service.DefaultJobQueueWait, "fail async jobs still queued after this long (negative: no deadline)")
 		maxConc   = flag.Int("max-concurrent", service.DefaultMaxConcurrent, "max scheduling requests in flight before shedding with 429")
 		maxTO     = flag.Duration("max-timeout", service.DefaultMaxTimeout, "cap on per-request deadlines (params.timeoutMs may shorten, never extend)")
+		cacheB    = flag.Int64("cache-bytes", service.DefaultCacheBytes, "result cache capacity in stored document bytes")
 		preload   = flag.String("preload", "all", "comma-separated built-in SOCs to register at startup (\"all\", \"\" for none)")
 		quiet     = flag.Bool("quiet", false, "suppress request logging")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
@@ -70,6 +73,7 @@ func main() {
 		JobQueueWait:    *queueWait,
 		MaxConcurrent:   *maxConc,
 		MaxTimeout:      *maxTO,
+		CacheBytes:      *cacheB,
 		Preload:         names,
 		Logger:          reqLog,
 	})

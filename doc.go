@@ -47,6 +47,17 @@
 // never-cancelled context they return exactly what their context-free
 // counterparts return.
 //
+// # Batching
+//
+// Planner.ScheduleBatch runs many (params, mode) items through one
+// bounded worker pool and returns one result per item, in item order.
+// Items whose parameters canonicalize to the same key (Options.Workers
+// excluded, defaults folded) are computed once and share the resulting
+// schedule. The HTTP surface mirrors this as POST /v1/batch, backed by a
+// content-addressed result cache keyed by (fingerprint, canonical params,
+// mode): repeat schedule requests — batched or not — are served the exact
+// bytes of the first answer, with hit/miss/eviction counters on /metrics.
+//
 // # Concurrency
 //
 // A sched.Optimizer (and therefore a Planner) is safe for concurrent use:

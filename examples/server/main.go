@@ -59,7 +59,7 @@ func main() {
 		ResultURL string `json:"resultUrl"`
 	}
 	post(*addr+"/v1/sweep", "application/json",
-		jsonBody(map[string]any{"soc": up.Name, "widthLo": 8, "widthHi": 32}), &job)
+		jsonBody(map[string]any{"soc": up.Name, "params": map[string]any{"widthLo": 8, "widthHi": 32}}), &job)
 	fmt.Printf("sweep job %s submitted\n", job.Job.ID)
 	for {
 		var st struct{ State string }
@@ -87,8 +87,52 @@ func main() {
 		Volume   int64
 	}
 	post(*addr+"/v1/effective", "application/json",
-		jsonBody(map[string]any{"soc": up.Name, "widthLo": 8, "widthHi": 32, "gamma": 0.5}), &eff)
+		jsonBody(map[string]any{"soc": up.Name, "params": map[string]any{"widthLo": 8, "widthHi": 32, "gamma": 0.5}}), &eff)
 	fmt.Printf("effective width (γ=0.5): W=%d (T=%d, D=%d)\n", eff.TAMWidth, eff.Time, eff.Volume)
+
+	// Batch: schedule several widths in one request. Run it twice — the
+	// repeat is served from the content-addressed result cache.
+	batch := jsonBody(map[string]any{
+		"items": []map[string]any{
+			{"soc": up.Fingerprint, "params": map[string]any{"tamWidth": 16}},
+			{"soc": up.Fingerprint, "params": map[string]any{"tamWidth": 24}},
+			{"soc": up.Fingerprint, "params": map[string]any{"tamWidth": 24}, "best": true},
+			{"soc": "no-such-soc", "params": map[string]any{"tamWidth": 16}},
+		},
+	})
+	var batchResp struct {
+		Items []struct {
+			Index  int             `json:"index"`
+			Status int             `json:"status"`
+			Cached bool            `json:"cached"`
+			Result json.RawMessage `json:"result,omitempty"`
+			Error  *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error,omitempty"`
+		} `json:"items"`
+		Stats struct {
+			OK, Failed, CacheHits int
+		} `json:"stats"`
+	}
+	for _, pass := range []string{"cold", "warm"} {
+		post(*addr+"/v1/batch", "application/json", batch, &batchResp)
+		fmt.Printf("batch (%s): %d ok, %d failed, %d cache hits\n",
+			pass, batchResp.Stats.OK, batchResp.Stats.Failed, batchResp.Stats.CacheHits)
+	}
+	for _, it := range batchResp.Items {
+		if it.Error != nil {
+			fmt.Printf("  item %d failed alone: HTTP %d code=%s\n", it.Index, it.Status, it.Error.Code)
+			continue
+		}
+		var doc struct {
+			Makespan int64 `json:"makespan"`
+		}
+		if err := json.Unmarshal(it.Result, &doc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  item %d: makespan %d cycles (cached=%v)\n", it.Index, doc.Makespan, it.Cached)
+	}
 
 	// Race the backend portfolio once so the per-backend observability has
 	// a win to report, then print the discovery endpoint's race table.

@@ -191,10 +191,12 @@ func replayService(sc Scenario, s *soc.SOC, params sched.Params, out map[string]
 		return err
 	}
 	out[LayerServiceEffective], err = post(ts, sc.Name, "/v1/effective", map[string]any{
-		"soc":     fp,
-		"widthLo": sc.WidthLo,
-		"widthHi": sc.WidthHi,
-		"workers": 1,
+		"soc": fp,
+		"params": map[string]any{
+			"widthLo": sc.WidthLo,
+			"widthHi": sc.WidthHi,
+			"workers": 1,
+		},
 	})
 	return err
 }

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a deterministic string identifying the scheduling
+// outcome this Params selects: two Params with equal keys produce
+// byte-identical schedules (for any fixed SOC), so the key is safe to use
+// as a result-cache address. Fields that cannot influence the schedule are
+// excluded — Workers only bounds sweep fan-out (parallel sweeps are
+// deterministic), so Params differing only in Workers share a key.
+// Defaults are applied first, so the zero value and an explicit default
+// (e.g. MaxWidth 0 vs 64) share a key too.
+func (p Params) CanonicalKey() string {
+	d := p.Defaults()
+	backend := d.Backend
+	if IsDefaultBackend(backend) {
+		backend = DefaultBackend
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "w=%d|max=%d|pct=%d|delta=%d|power=%d|slack=%d|widen=%t|hier=%t|backend=%s|bt=%d|pre=",
+		d.TAMWidth, d.MaxWidth, d.Percent, d.Delta, d.PowerMax, d.InsertSlack,
+		d.DisableWidening, d.IgnoreHierarchy, backend, int64(d.BackendTimeout))
+	if d.MaxPreemptions == nil {
+		sb.WriteString("nil")
+	} else {
+		ids := make([]int, 0, len(d.MaxPreemptions))
+		for id := range d.MaxPreemptions {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		sb.WriteByte('[')
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d:%d", id, d.MaxPreemptions[id])
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// BatchItem is one scheduling request in a batch: the run's Params plus
+// the mode bit. Best selects the backend's best-schedule mode; with the
+// classic default backend and Best false, the item is a single run at the
+// given (α, δ) — exactly the Schedule vs ScheduleBest split of the
+// one-at-a-time API.
+type BatchItem struct {
+	Params Params
+	Best   bool
+}
+
+// key returns the item's result-cache address: the Params' canonical key
+// plus the effective mode. Non-classic backends have no single-run mode
+// (both paths dispatch to the backend's best schedule), so their Best bit
+// canonicalizes to true and both spellings share one computation.
+func (it BatchItem) key() string {
+	best := it.Best || !IsDefaultBackend(it.Params.Backend)
+	return fmt.Sprintf("best=%t|%s", best, it.Params.CanonicalKey())
+}
+
+// BatchResult is one item's outcome: the schedule, or the item's own
+// error. Items deduplicated inside a batch share one *Schedule — treat it
+// as read-only, exactly like every other schedule the optimizer returns.
+type BatchResult struct {
+	Schedule *Schedule
+	Err      error
+}
+
+// ScheduleBatch runs every item through the optimizer with a bounded
+// worker pool and returns one result per item, in item order. Identical
+// items (equal canonical keys) are computed once and share the result —
+// the batch-scope form of the service layer's content-addressed result
+// cache, so library callers get the same deduplication semantics. One
+// failing item never fails the batch: its error lands in its own slot.
+// workers bounds the fan-out (0 = GOMAXPROCS, 1 = sequential); results
+// are identical for any worker count. Once ctx is done, unstarted items
+// fail with ctx's error.
+func (o *Optimizer) ScheduleBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	// Deduplicate: first occurrence of each key computes, the rest share.
+	firstOf := make(map[string]int, len(items))
+	unique := make([]int, 0, len(items))
+	share := make([]int, len(items)) // item index -> computing item index
+	for i, it := range items {
+		k := it.key()
+		if j, ok := firstOf[k]; ok {
+			share[i] = j
+			continue
+		}
+		firstOf[k] = i
+		share[i] = i
+		unique = append(unique, i)
+	}
+
+	n := ResolveWorkers(workers)
+	if n > len(unique) {
+		n = len(unique)
+	}
+	idxCh := make(chan int)
+	done := make(chan struct{}, n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idxCh {
+				results[i] = o.runBatchItem(ctx, items[i])
+			}
+		}()
+	}
+	for _, i := range unique {
+		idxCh <- i
+	}
+	close(idxCh)
+	for w := 0; w < n; w++ {
+		<-done
+	}
+	for i := range items {
+		if share[i] != i {
+			results[i] = results[share[i]]
+		}
+	}
+	return results
+}
+
+// runBatchItem executes one unique batch item, mirroring the dispatch of
+// the one-at-a-time API: classic single-run for (Best=false, default
+// backend), the named backend's best mode otherwise.
+func (o *Optimizer) runBatchItem(ctx context.Context, it BatchItem) BatchResult {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{Err: err}
+	}
+	var (
+		sch *Schedule
+		err error
+	)
+	if it.Best || !IsDefaultBackend(it.Params.Backend) {
+		sch, err = o.ScheduleBackend(ctx, it.Params)
+	} else {
+		sch, err = o.Run(it.Params)
+	}
+	return BatchResult{Schedule: sch, Err: err}
+}

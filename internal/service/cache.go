@@ -1,0 +1,188 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/sched"
+)
+
+// DefaultCacheBytes bounds the result cache when Config.CacheBytes leaves
+// it unset. Schedule documents for the paper's benchmark SOCs run a few
+// KiB to a few hundred KiB, so 64 MiB holds hundreds to tens of thousands
+// of distinct (SOC, params) points — plenty for the hot set of a sweep-
+// heavy workload without letting the cache dominate the heap.
+const DefaultCacheBytes int64 = 64 << 20
+
+// CacheStats is the result cache's /metrics block.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacityBytes"`
+	// Hits counts requests answered from a stored document or a shared
+	// in-flight build (see SingleflightShared for the latter alone).
+	Hits int64 `json:"hits"`
+	// Misses counts builds actually executed.
+	Misses int64 `json:"misses"`
+	// Evictions counts documents dropped by the LRU to stay under capacity.
+	Evictions int64 `json:"evictions"`
+	// SingleflightShared counts callers that piggybacked on a concurrent
+	// identical build instead of computing or reading a stored entry.
+	SingleflightShared int64 `json:"singleflightShared"`
+}
+
+// ResultCache is the content-addressed result cache: serialized response
+// documents keyed by (fingerprint, canonical params, mode). Storing the
+// exact bytes a cache miss served makes hits byte-identical by
+// construction. Concurrent identical requests are deduplicated
+// singleflight-style: one caller builds, the rest wait and share. Failed
+// builds are never cached and never poison waiters — a waiter whose
+// leader failed retries from the top (and becomes the new leader if the
+// slot is still empty), so a chaos-injected or timed-out build costs only
+// the callers it directly failed. Eviction is LRU by total stored bytes.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int64
+	entries  map[string]*list.Element // guarded by mu; of *cacheEntry
+	lru      *list.List               // guarded by mu; front = most recent
+	bytes    int64                    // guarded by mu
+	flights  map[string]*cacheFlight  // guarded by mu
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	shared    atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	doc []byte
+}
+
+// cacheFlight is one in-progress build; doc/err are written exactly once
+// before done is closed and read only after it.
+type cacheFlight struct {
+	done chan struct{}
+	doc  []byte
+	err  error
+}
+
+// NewResultCache builds a cache bounded to capacity bytes of stored
+// documents (<= 0: DefaultCacheBytes).
+func NewResultCache(capacity int64) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheBytes
+	}
+	return &ResultCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		flights:  make(map[string]*cacheFlight),
+	}
+}
+
+// Do returns the document for key, building it at most once across
+// concurrent identical calls. hit reports whether the answer came from
+// the cache or a shared in-flight build (false: this call ran build).
+// A build error is returned to the callers that depended on that build
+// and nothing is stored.
+func (c *ResultCache) Do(ctx context.Context, key string, build func() ([]byte, error)) (doc []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if elem, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(elem)
+			doc := elem.Value.(*cacheEntry).doc
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return doc, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				c.hits.Add(1)
+				c.shared.Add(1)
+				return f.doc, true, nil
+			}
+			// The leader failed. Its failure was not cached, so retry: the
+			// next lap either joins a newer flight or leads one. A caller
+			// whose own deadline is the problem exits via ctx above.
+			continue
+		}
+		f := &cacheFlight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		f.doc, f.err = build()
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.doc)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		c.misses.Add(1)
+		return f.doc, false, f.err
+	}
+}
+
+// insertLocked stores doc under key and evicts from the cold end until
+// the cache fits capacity again. Documents larger than the whole cache
+// are served but not stored. Callers hold c.mu.
+func (c *ResultCache) insertLocked(key string, doc []byte) {
+	if int64(len(doc)) > c.capacity {
+		return
+	}
+	if elem, ok := c.entries[key]; ok { // lost a race with an identical build
+		c.lru.MoveToFront(elem)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, doc: doc})
+	c.bytes += int64(len(doc))
+	for c.bytes > c.capacity {
+		elem := c.lru.Back()
+		if elem == nil {
+			break
+		}
+		e := c.lru.Remove(elem).(*cacheEntry)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.doc))
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the cache counters for /metrics.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.entries)
+	bytes := c.bytes
+	capacity := c.capacity
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:            entries,
+		Bytes:              bytes,
+		CapacityBytes:      capacity,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Evictions:          c.evictions.Load(),
+		SingleflightShared: c.shared.Load(),
+	}
+}
+
+// scheduleCacheKey is the content address of a schedule document:
+// fingerprint + effective mode + canonical params. Non-classic backends
+// canonicalize Best to true (both routes dispatch to the backend's best
+// mode), and CanonicalKey folds defaults and drops Workers, so every
+// spelling of the same computation shares one entry.
+func scheduleCacheKey(fp string, opts repro.Options, best bool) string {
+	best = best || !sched.IsDefaultBackend(opts.Backend)
+	return fmt.Sprintf("sched|%s|best=%t|%s", fp, best, opts.CanonicalKey())
+}

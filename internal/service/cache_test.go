@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestCacheSingleflight runs many concurrent identical requests through
+// the cache and asserts exactly one build executes: everyone else either
+// reads the stored entry or piggybacks on the in-flight build, and every
+// caller gets the same bytes. Run with -race in CI.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	var builds atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const callers = 16
+	docs := make([][]byte, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				builds.Add(1)
+				close(started)
+				<-release // hold the build open so every caller piles up on it
+				return []byte("document"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			docs[i] = doc
+		}(i)
+	}
+	<-started
+	// Give the other callers time to reach the in-flight build before it
+	// completes, so the singleflight-shared path is actually exercised.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want exactly 1 across %d concurrent callers", got, callers)
+	}
+	for i, doc := range docs {
+		if !bytes.Equal(doc, []byte("document")) {
+			t.Fatalf("caller %d got %q", i, doc)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, callers-1)
+	}
+	if st.SingleflightShared < 1 {
+		t.Fatalf("stats = %+v, want at least one singleflight-shared caller", st)
+	}
+}
+
+// TestCacheLRUEviction churns a tiny cache with distinct keys and asserts
+// the byte bound holds, evictions hit the cold end first, and re-fetching
+// an evicted key rebuilds.
+func TestCacheLRUEviction(t *testing.T) {
+	// Room for exactly 4 of the 10-byte documents below.
+	c := NewResultCache(40)
+	doc := func(i int) []byte { return fmt.Appendf(nil, "doc-%06d", i) }
+	get := func(i int) ([]byte, bool) {
+		t.Helper()
+		got, hit, err := c.Do(context.Background(), fmt.Sprintf("k%d", i), func() ([]byte, error) {
+			return doc(i), nil
+		})
+		if err != nil || !bytes.Equal(got, doc(i)) {
+			t.Fatalf("key %d: doc=%q err=%v", i, got, err)
+		}
+		return got, hit
+	}
+
+	for i := 0; i < 10; i++ {
+		get(i)
+	}
+	st := c.Stats()
+	if st.Bytes > 40 || st.Entries != 4 {
+		t.Fatalf("after churn: %+v, want <= 40 bytes in 4 entries", st)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6 (10 inserts into 4 slots)", st.Evictions)
+	}
+
+	// 6..9 survived; touching 6 makes 7 the coldest, so inserting one more
+	// evicts 7, not 6.
+	if _, hit := get(6); !hit {
+		t.Fatal("key 6 should still be resident")
+	}
+	get(10)
+	if _, hit := get(6); !hit {
+		t.Fatal("recently-touched key 6 was evicted before colder keys")
+	}
+	if _, hit := get(7); hit {
+		t.Fatal("coldest key 7 survived an over-capacity insert")
+	}
+
+	// A document larger than the whole cache is served but never stored.
+	big := bytes.Repeat([]byte("x"), 64)
+	got, _, err := c.Do(context.Background(), "huge", func() ([]byte, error) { return big, nil })
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversized doc: %v", err)
+	}
+	if _, hit, _ := c.Do(context.Background(), "huge", func() ([]byte, error) { return big, nil }); hit {
+		t.Fatal("oversized document was stored despite exceeding capacity")
+	}
+}
+
+// TestCacheFailureNotCached asserts a failed build is never stored: the
+// caller gets the error, waiters on the failed flight retry rather than
+// inheriting the failure, and the next build repopulates normally.
+func TestCacheFailureNotCached(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	boom := errors.New("boom")
+	var builds atomic.Int64
+	if _, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		builds.Add(1)
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed build was cached: %+v", st)
+	}
+	doc, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		builds.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || !bytes.Equal(doc, []byte("ok")) {
+		t.Fatalf("rebuild: doc=%q hit=%v err=%v", doc, hit, err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2 (failure + rebuild)", builds.Load())
+	}
+}
+
+// TestCacheWaitersSurviveFailedLeader pins the retry semantics under
+// concurrency: when the singleflight leader's build fails, the waiters do
+// not inherit the failure — they loop, one becomes the new leader, and
+// everyone ends up with the good document. Run with -race in CI.
+func TestCacheWaitersSurviveFailedLeader(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	var builds atomic.Int64
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-leaderGo
+			builds.Add(1)
+			return nil, errors.New("leader failed")
+		})
+	}()
+	<-leaderIn // the flight is registered; everyone below joins it
+
+	const waiters = 8
+	werrs := make([]error, waiters)
+	wdocs := make([][]byte, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wdocs[i], _, werrs[i] = c.Do(context.Background(), "k", func() ([]byte, error) {
+				builds.Add(1)
+				return []byte("good"), nil
+			})
+		}(i)
+	}
+	close(leaderGo)
+	wg.Wait()
+
+	if leaderErr == nil {
+		t.Fatal("leader did not observe its own build failure")
+	}
+	for i := range werrs {
+		if werrs[i] != nil || !bytes.Equal(wdocs[i], []byte("good")) {
+			t.Fatalf("waiter %d: doc=%q err=%v, want the rebuilt document", i, wdocs[i], werrs[i])
+		}
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("builds = %d, want 2 (failed leader + one retry leader)", got)
+	}
+}
+
+// TestChaosScheduleFailureNotCached drives the full HTTP path: a
+// chaos-injected scheduling failure answers 5xx/422 and must not poison
+// the cache — the retry reschedules for real, succeeds, and only then do
+// repeats become hits.
+func TestChaosScheduleFailureNotCached(t *testing.T) {
+	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
+		{Site: "service/schedule", Mode: chaos.ModeError, Count: 1},
+	}})
+	defer plan.Disable()
+
+	svc, ts := newTestService(t, Config{Preload: []string{"demo8"}})
+	client := ts.Client()
+	req := map[string]any{"soc": "demo8", "params": ParamsJSON{TAMWidth: 16}}
+
+	code, body := doJSON(t, client, "POST", ts.URL+"/v1/schedule", req)
+	if code == http.StatusOK {
+		t.Fatalf("sabotaged schedule unexpectedly succeeded: %s", body)
+	}
+	if st := svc.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("failed schedule was cached: %+v", st)
+	}
+
+	code, first := doJSON(t, client, "POST", ts.URL+"/v1/schedule", req)
+	if code != http.StatusOK {
+		t.Fatalf("retry after injected failure: HTTP %d: %s", code, first)
+	}
+	code, second := doJSON(t, client, "POST", ts.URL+"/v1/schedule", req)
+	if code != http.StatusOK || !bytes.Equal(first, second) {
+		t.Fatalf("warm repeat: HTTP %d, byte-identical=%v", code, bytes.Equal(first, second))
+	}
+	if st := svc.Cache().Stats(); st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("cache stats after recovery = %+v, want hits and misses", st)
+	}
+}

@@ -255,7 +255,7 @@ func TestChaosSweepWaitDeadline(t *testing.T) {
 	svc, ts := newTestService(t, Config{Preload: []string{"demo8"}})
 	client := ts.Client()
 	code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-		map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 1024, "wait": true, "timeoutMs": 1})
+		map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 1024, "timeoutMs": 1}, "wait": true})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("timed-out sweep: HTTP %d (want 504): %s", code, body)
 	}
@@ -283,7 +283,7 @@ func TestChaosNegativeTimeoutsRejected(t *testing.T) {
 		}
 	}
 	for _, req := range []map[string]any{
-		{"soc": "demo8", "widthLo": 1, "widthHi": 8, "wait": true, "timeoutMs": -1},
+		{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 8, "timeoutMs": -1}, "wait": true},
 	} {
 		code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep", req)
 		if code != http.StatusUnprocessableEntity {
@@ -291,7 +291,7 @@ func TestChaosNegativeTimeoutsRejected(t *testing.T) {
 		}
 	}
 	code, body := doJSON(t, client, "POST", ts.URL+"/v1/effective",
-		map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 8, "timeoutMs": -1})
+		map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 8, "timeoutMs": -1}})
 	if code != http.StatusUnprocessableEntity {
 		t.Fatalf("effective with timeoutMs=-1: HTTP %d (want 422): %s", code, body)
 	}

@@ -24,6 +24,7 @@ type Metrics struct {
 	status5xx atomic.Int64
 	schedules atomic.Int64
 	sweeps    atomic.Int64
+	batches   atomic.Int64
 	panics    atomic.Int64
 	shed      atomic.Int64 // requests rejected 429 by admission control
 	timeouts  atomic.Int64 // requests that hit their deadline (504)
@@ -42,9 +43,11 @@ type MetricsSnapshot struct {
 	Status5xx     int64                             `json:"status5xx"`
 	Schedules     int64                             `json:"schedules"`
 	Sweeps        int64                             `json:"sweeps"`
+	Batches       int64                             `json:"batches"`
 	Panics        int64                             `json:"panics"`
 	Shed          int64                             `json:"shed"`
 	Timeouts      int64                             `json:"timeouts"`
+	Cache         CacheStats                        `json:"cache"`
 	Registry      RegistryStats                     `json:"registry"`
 	Jobs          JobsStats                         `json:"jobs"`
 	Backends      map[string]sched.BackendRaceStats `json:"backends"`

@@ -119,10 +119,12 @@ func TestObservability(t *testing.T) {
 	if st := byName["classic"].Race.State; st != "exempt" {
 		t.Fatalf("classic state %q, want exempt", st)
 	}
+	// Exactly one decided race: the second (identical) schedule request was
+	// answered by the result cache, so no second portfolio race ran.
 	for _, name := range []string{"classic", "rectpack"} {
 		b := byName[name]
-		if decided := b.Race.Won + b.Race.Lost; decided != 2 {
-			t.Fatalf("%s decided races = %d, want 2 (one per schedule request)", name, decided)
+		if decided := b.Race.Won + b.Race.Lost; decided != 1 {
+			t.Fatalf("%s decided races = %d, want 1 (repeat request is a cache hit)", name, decided)
 		}
 		if b.Race.WinRate < 0 || b.Race.WinRate > 1 {
 			t.Fatalf("%s winRate = %v", name, b.Race.WinRate)
@@ -144,8 +146,11 @@ func TestObservability(t *testing.T) {
 	if h := ms.Latency.Routes["POST /v1/schedule/best"]; h.Count < 2 || h.MaxNs < h.P50Ns {
 		t.Fatalf("route histogram = %+v", h)
 	}
-	if h := ms.Latency.Backends["portfolio"]; h.Count < 2 {
+	if h := ms.Latency.Backends["portfolio"]; h.Count < 1 {
 		t.Fatalf("portfolio backend histogram = %+v", h)
+	}
+	if ms.Cache.Hits < 1 || ms.Cache.Misses < 1 {
+		t.Fatalf("cache stats = %+v, want the repeat request counted as a hit", ms.Cache)
 	}
 	if h := ms.Latency.Stages["registry/build"]; h.Count < 1 {
 		t.Fatalf("registry/build stage histogram = %+v", h)

@@ -1,11 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -51,6 +51,9 @@ type Config struct {
 	// MaxTimeout caps per-request deadlines: a request's params.timeoutMs
 	// may shorten it but never extend past this (<= 0: DefaultMaxTimeout).
 	MaxTimeout time.Duration
+	// CacheBytes bounds the content-addressed result cache (total stored
+	// document bytes; <= 0: DefaultCacheBytes).
+	CacheBytes int64
 	// Preload names built-in benchmark SOCs to register at startup; the
 	// single entry "all" expands to every built-in.
 	Preload []string
@@ -64,6 +67,7 @@ type Config struct {
 type Server struct {
 	reg        *Registry
 	jobs       *Jobs
+	cache      *ResultCache
 	metrics    Metrics
 	tracer     *obs.Tracer
 	sem        *resil.Semaphore
@@ -90,6 +94,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		reg:        NewRegistry(cfg.PlannerCapacity),
 		jobs:       NewJobs(cfg.JobWorkers, cfg.JobQueue, cfg.JobRetained, cfg.JobQueueWait),
+		cache:      NewResultCache(cfg.CacheBytes),
 		tracer:     obs.NewTracer(0),
 		sem:        resil.NewSemaphore(maxConcurrent),
 		maxTimeout: maxTimeout,
@@ -122,6 +127,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/socs/{key}", s.handleSOCGet)
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { s.handleSchedule(w, r, false) })
 	mux.HandleFunc("POST /v1/schedule/best", func(w http.ResponseWriter, r *http.Request) { s.handleSchedule(w, r, true) })
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/effective", s.handleEffective)
 	mux.HandleFunc("POST /v1/gantt", s.handleGantt)
@@ -141,6 +147,9 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry exposes the Planner registry (metrics, tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Cache exposes the result cache (metrics, tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
 // Jobs exposes the async job pool (metrics, tests).
 func (s *Server) Jobs() *Jobs { return s.jobs }
 
@@ -158,94 +167,6 @@ func (s *Server) Close() {
 	s.jobs.Close()
 }
 
-// ---- request/response shapes ----
-
-// ParamsJSON mirrors repro.Options (sched.Params) on the wire. Zero-valued
-// fields take the library defaults, exactly as in the Go API. Backend
-// selects the scheduling backend ("classic", "rectpack", "portfolio";
-// empty = classic); unknown names are rejected with 422 before any
-// scheduling work starts.
-type ParamsJSON struct {
-	TAMWidth        int         `json:"tamWidth"`
-	MaxWidth        int         `json:"maxWidth,omitempty"`
-	Percent         int         `json:"percent,omitempty"`
-	Delta           int         `json:"delta,omitempty"`
-	PowerMax        int         `json:"powerMax,omitempty"`
-	InsertSlack     int         `json:"insertSlack,omitempty"`
-	MaxPreemptions  map[int]int `json:"maxPreemptions,omitempty"`
-	DisableWidening bool        `json:"disableWidening,omitempty"`
-	IgnoreHierarchy bool        `json:"ignoreHierarchy,omitempty"`
-	Workers         int         `json:"workers,omitempty"`
-	Backend         string      `json:"backend,omitempty"`
-	// TimeoutMS is the request deadline in milliseconds, capped by the
-	// server's MaxTimeout; a request past its deadline answers 504. Zero
-	// means the server cap alone applies.
-	TimeoutMS int64 `json:"timeoutMs,omitempty"`
-	// BackendTimeoutMS bounds each racer in a portfolio race (see
-	// Options.BackendTimeout); zero means no per-racer deadline.
-	BackendTimeoutMS int64 `json:"backendTimeoutMs,omitempty"`
-}
-
-// Options converts the wire params to library options. TimeoutMS is not an
-// option: it shapes the request context, not the scheduling work.
-func (p ParamsJSON) Options() repro.Options {
-	return repro.Options{
-		TAMWidth:        p.TAMWidth,
-		MaxWidth:        p.MaxWidth,
-		Percent:         p.Percent,
-		Delta:           p.Delta,
-		PowerMax:        p.PowerMax,
-		InsertSlack:     p.InsertSlack,
-		MaxPreemptions:  p.MaxPreemptions,
-		DisableWidening: p.DisableWidening,
-		IgnoreHierarchy: p.IgnoreHierarchy,
-		Workers:         p.Workers,
-		Backend:         p.Backend,
-		BackendTimeout:  time.Duration(p.BackendTimeoutMS) * time.Millisecond,
-	}
-}
-
-type scheduleRequest struct {
-	// SOC is a fingerprint or a registered SOC name.
-	SOC    string     `json:"soc"`
-	Params ParamsJSON `json:"params"`
-}
-
-type ganttRequest struct {
-	SOC    string     `json:"soc"`
-	Params ParamsJSON `json:"params"`
-	// Best renders the grid-swept best schedule instead of a single run.
-	// (/v1/schedule has no such field — the route picks the mode there.)
-	Best bool `json:"best,omitempty"`
-}
-
-type sweepRequest struct {
-	SOC     string `json:"soc"`
-	WidthLo int    `json:"widthLo,omitempty"`
-	WidthHi int    `json:"widthHi,omitempty"`
-	Workers int    `json:"workers,omitempty"`
-	// Wait runs the sweep synchronously on the request instead of
-	// submitting an async job.
-	Wait bool `json:"wait,omitempty"`
-	// TimeoutMS is the deadline for a synchronous (wait) sweep in
-	// milliseconds, capped by the server's MaxTimeout. Async jobs run
-	// under the job pool's lifecycle instead.
-	TimeoutMS int64 `json:"timeoutMs,omitempty"`
-}
-
-type effectiveRequest struct {
-	SOC     string `json:"soc"`
-	WidthLo int    `json:"widthLo,omitempty"`
-	WidthHi int    `json:"widthHi,omitempty"`
-	// Gamma is the time/volume trade-off weight γ in [0,1]; omitted means
-	// 0.5 (equal weight).
-	Gamma   *float64 `json:"gamma,omitempty"`
-	Workers int      `json:"workers,omitempty"`
-	// TimeoutMS is the request deadline in milliseconds, capped by the
-	// server's MaxTimeout.
-	TimeoutMS int64 `json:"timeoutMs,omitempty"`
-}
-
 // ---- handlers ----
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -260,8 +181,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"GET  /v1/socs/{key}",
 			"POST /v1/schedule            {soc, params}        (params.backend: classic|rectpack|portfolio)",
 			"POST /v1/schedule/best       {soc, params}        (params.backend: classic|rectpack|portfolio)",
-			"POST /v1/sweep               {soc, widthLo, widthHi, workers, wait}",
-			"POST /v1/effective           {soc, widthLo, widthHi, gamma, workers}",
+			"POST /v1/batch               {items: [{soc, params, best}], workers}",
+			"POST /v1/sweep               {soc, params, wait}  (params.widthLo/widthHi/workers)",
+			"POST /v1/effective           {soc, params}        (params.widthLo/widthHi/gamma/workers)",
 			"POST /v1/gantt               {soc, params, best}",
 			"GET  /v1/jobs/{id}",
 			"GET  /v1/jobs/{id}/result",
@@ -296,9 +218,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Status5xx:     s.metrics.status5xx.Load(),
 		Schedules:     s.metrics.schedules.Load(),
 		Sweeps:        s.metrics.sweeps.Load(),
+		Batches:       s.metrics.batches.Load(),
 		Panics:        s.metrics.panics.Load(),
 		Shed:          s.metrics.shed.Load(),
 		Timeouts:      s.metrics.timeouts.Load(),
+		Cache:         s.cache.Stats(),
 		Registry:      s.reg.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Backends:      sched.PortfolioStats(),
@@ -416,13 +340,21 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 // requestCtx derives the work context for a scheduling request: the
 // client's timeoutMs when given, always capped by the server's MaxTimeout.
 func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	return s.deadlineCtx(r.Context(), timeoutMS)
+}
+
+// deadlineCtx derives a work context from parent: timeoutMS when given,
+// always capped by the server's MaxTimeout. Batch items call it directly
+// with the batch context as parent, so an item deadline can shorten but
+// never outlive the batch's.
+func (s *Server) deadlineCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
 	d := s.maxTimeout
 	if timeoutMS > 0 {
 		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
 			d = t
 		}
 	}
-	return context.WithTimeout(r.Context(), d)
+	return context.WithTimeout(parent, d)
 }
 
 // scheduleStatus maps a scheduling failure to its HTTP status: a missed
@@ -438,13 +370,12 @@ func (s *Server) scheduleStatus(err error) int {
 
 // handleSchedule answers POST /v1/schedule and /v1/schedule/best. The body
 // is exactly what schedio.Save emits for the Planner's answer, so service
-// responses and library results are interchangeable byte-for-byte.
+// responses and library results are interchangeable byte-for-byte — and
+// because the result cache stores those exact bytes, a cache hit (X-Cache:
+// hit) repeats the miss's body verbatim.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best bool) {
-	var req scheduleRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if !checkParams(w, req.Params) {
+	req, ok := s.decodeRequest(w, r, 0)
+	if !ok {
 		return
 	}
 	release, ok := s.admit(w)
@@ -452,25 +383,59 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, best boo
 		return
 	}
 	defer release()
-	planner, ok := s.plannerFor(w, r, req.SOC)
+	fp, ok := s.reg.Resolve(req.SOC)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownSOC, req.SOC))
+		return
+	}
+	planner, ok := s.plannerFor(w, r, fp)
 	if !ok {
 		return
 	}
-	if !checkPreemptions(w, planner, req.Params) {
+	if e := preemptionsErr(planner, req.Params); e != nil {
+		writeAPIErr(w, e)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.Params.TimeoutMS)
 	defer cancel()
-	sch, err := s.runSchedule(ctx, planner, req.Params.Options(), best)
+	doc, hit, err := s.scheduleDoc(ctx, planner, fp, req.Params, best)
 	if err != nil {
 		writeError(w, s.scheduleStatus(err), err)
 		return
 	}
 	s.metrics.schedules.Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	if err := repro.SaveSchedule(w, sch); err != nil {
+	w.Header().Set("X-Cache", cacheLabel(hit))
+	if _, err := w.Write(doc); err != nil {
 		s.logf("write schedule: %v", err)
 	}
+}
+
+// cacheLabel renders a hit flag for the X-Cache response header.
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// scheduleDoc returns the serialized schedule document for (fp, params,
+// mode) through the content-addressed result cache: on a miss it runs the
+// scheduler and stores the exact bytes it serves, so every later hit (and
+// every concurrent singleflight waiter) is byte-identical to the miss.
+func (s *Server) scheduleDoc(ctx context.Context, planner *repro.Planner, fp string, p ParamsJSON, best bool) ([]byte, bool, error) {
+	opts := p.Options()
+	return s.cache.Do(ctx, scheduleCacheKey(fp, opts, best), func() ([]byte, error) {
+		sch, err := s.runSchedule(ctx, planner, opts, best)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := repro.SaveSchedule(&buf, sch); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
 }
 
 // runSchedule dispatches a schedule request: /v1/schedule/best always runs
@@ -518,95 +483,14 @@ func (s *Server) runSchedule(ctx context.Context, planner *repro.Planner, opts r
 // request's work phase (after admission, before the planner runs).
 const siteSchedule = "service/schedule"
 
-// MaxRequestWidth caps every client-controlled TAM width: sweep ranges,
-// params.tamWidth, and params.maxWidth. The paper's studies stop at W=80
-// and per-core widths at 64; anything past this is a typo or an attack —
-// the scheduler allocates per-wire bin state and the sweep per-width
-// state up front, so an unbounded width would let one request OOM or
-// CPU-starve the whole server.
-const MaxRequestWidth = 1024
-
-// checkSweepRange rejects out-of-range width bounds before any sweep
-// state is allocated (zero values are fine: datavol fills its defaults).
-func checkSweepRange(w http.ResponseWriter, lo, hi int) bool {
-	if lo < 0 || hi < 0 || lo > MaxRequestWidth || hi > MaxRequestWidth {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("sweep width range [%d,%d] outside [0,%d]", lo, hi, MaxRequestWidth))
-		return false
-	}
-	return true
-}
-
-func checkTimeoutMS(w http.ResponseWriter, timeoutMS int64) bool {
-	if timeoutMS < 0 {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("timeoutMs=%d must be >= 0", timeoutMS))
-		return false
-	}
-	return true
-}
-
-// checkParams rejects out-of-range scheduling widths before they reach
-// the scheduler's per-wire allocations (zero values are fine: the library
-// fills its defaults and rejects a missing tamWidth itself) and unknown
-// backend names before any scheduling work starts.
-func checkParams(w http.ResponseWriter, p ParamsJSON) bool {
-	if p.TAMWidth < 0 || p.TAMWidth > MaxRequestWidth || p.MaxWidth < 0 || p.MaxWidth > MaxRequestWidth {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("params widths tamWidth=%d maxWidth=%d outside [0,%d]", p.TAMWidth, p.MaxWidth, MaxRequestWidth))
-		return false
-	}
-	if p.TimeoutMS < 0 || p.BackendTimeoutMS < 0 {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("params timeoutMs=%d backendTimeoutMs=%d must be >= 0", p.TimeoutMS, p.BackendTimeoutMS))
-		return false
-	}
-	if _, err := sched.BackendByName(p.Backend); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return false
-	}
-	return true
-}
-
-// checkPreemptions rejects preemption budgets keyed by core IDs the SOC
-// does not define — silently ignoring them would let a typo'd request run
-// an entirely different scheduling regime than the caller asked for. The
-// error is the same typed *repro.UnknownCoreError the verifier returns.
-func checkPreemptions(w http.ResponseWriter, planner *repro.Planner, p ParamsJSON) bool {
-	if len(p.MaxPreemptions) == 0 {
-		return true
-	}
-	known := make(map[int]bool)
-	for _, c := range planner.SOC().Cores {
-		known[c.ID] = true
-	}
-	bad := -1
-	for id := range p.MaxPreemptions {
-		if !known[id] && (bad == -1 || id < bad) {
-			bad = id
-		}
-	}
-	if bad != -1 {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("maxPreemptions: %w", &repro.UnknownCoreError{CoreID: bad}))
-		return false
-	}
-	return true
-}
-
 // handleSweep answers POST /v1/sweep: synchronously under the request
 // context when wait is set, otherwise as an async job whose result is
 // served by /v1/jobs/{id}/result with the same bytes as the synchronous
-// answer.
+// answer. The sweep bounds ride in the shared params (widthLo, widthHi,
+// workers).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
-		return
-	}
-	if !checkTimeoutMS(w, req.TimeoutMS) {
+	req, ok := s.decodeRequest(w, r, allowWait)
+	if !ok {
 		return
 	}
 	fp, ok := s.reg.Resolve(req.SOC)
@@ -614,6 +498,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownSOC, req.SOC))
 		return
 	}
+	p := req.Params
 	if req.Wait {
 		release, ok := s.admit(w)
 		if !ok {
@@ -624,9 +509,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		ctx, cancel := s.requestCtx(r, p.TimeoutMS)
 		defer cancel()
-		sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+		sw, err := planner.SweepWidthsContext(ctx, p.WidthLo, p.WidthHi, p.Workers)
 		if err != nil {
 			writeError(w, s.scheduleStatus(err), err)
 			return
@@ -644,7 +529,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			return planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+			return planner.SweepWidthsContext(ctx, p.WidthLo, p.WidthHi, p.Workers)
 		})
 		if err != nil {
 			return nil, err
@@ -676,16 +561,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEffective runs a width sweep and picks the effective TAM width
-// minimizing C(γ, W) — the paper's Problem 3 in one request.
+// minimizing C(γ, W) — the paper's Problem 3 in one request. The sweep
+// bounds and γ ride in the shared params (widthLo, widthHi, gamma,
+// workers).
 func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
-	var req effectiveRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if !checkSweepRange(w, req.WidthLo, req.WidthHi) {
-		return
-	}
-	if !checkTimeoutMS(w, req.TimeoutMS) {
+	req, ok := s.decodeRequest(w, r, 0)
+	if !ok {
 		return
 	}
 	release, ok := s.admit(w)
@@ -697,17 +578,18 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	p := req.Params
+	ctx, cancel := s.requestCtx(r, p.TimeoutMS)
 	defer cancel()
-	sw, err := planner.SweepWidthsContext(ctx, req.WidthLo, req.WidthHi, req.Workers)
+	sw, err := planner.SweepWidthsContext(ctx, p.WidthLo, p.WidthHi, p.Workers)
 	if err != nil {
 		writeError(w, s.scheduleStatus(err), err)
 		return
 	}
 	s.metrics.sweeps.Add(1)
 	gamma := 0.5
-	if req.Gamma != nil {
-		gamma = *req.Gamma
+	if p.Gamma != nil {
+		gamma = *p.Gamma
 	}
 	eff, err := repro.PickEffectiveWidth(sw, gamma)
 	if err != nil {
@@ -717,13 +599,12 @@ func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, eff)
 }
 
-// handleGantt schedules and renders the packed bin as SVG.
+// handleGantt schedules and renders the packed bin as SVG. Gantt answers
+// are not cached: the cache stores schedule documents, and the SVG is
+// cheap to re-render relative to the schedule run.
 func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
-	var req ganttRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	if !checkParams(w, req.Params) {
+	req, ok := s.decodeRequest(w, r, allowBest)
+	if !ok {
 		return
 	}
 	release, ok := s.admit(w)
@@ -735,7 +616,8 @@ func (s *Server) handleGantt(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if !checkPreemptions(w, planner, req.Params) {
+	if e := preemptionsErr(planner, req.Params); e != nil {
+		writeAPIErr(w, e)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.Params.TimeoutMS)
@@ -802,38 +684,4 @@ func (s *Server) plannerFor(w http.ResponseWriter, r *http.Request, key string) 
 		return nil, false
 	}
 	return planner, true
-}
-
-// ---- encoding helpers ----
-
-// decodeBody decodes a JSON request body, writing a 400 on failure.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return false
-	}
-	// Trailing garbage after the JSON document is a malformed request.
-	if _, err := dec.Token(); err != io.EOF {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body"))
-		return false
-	}
-	return true
-}
-
-// writeJSON writes v as indented JSON (two spaces, trailing newline — the
-// same encoding schedio and the library tools use, so responses are
-// byte-comparable with direct library output).
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -169,7 +169,7 @@ func TestServiceDifferential(t *testing.T) {
 			t.Fatalf("%s: /v1/schedule/best differs from Planner.ScheduleBest bytes", c.name)
 		}
 		code, got = doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-			map[string]any{"soc": c.name, "widthLo": c.lo, "widthHi": c.hi, "wait": true})
+			map[string]any{"soc": c.name, "params": map[string]any{"widthLo": c.lo, "widthHi": c.hi}, "wait": true})
 		if code != http.StatusOK {
 			t.Fatalf("%s sweep: HTTP %d: %s", c.name, code, got)
 		}
@@ -177,7 +177,7 @@ func TestServiceDifferential(t *testing.T) {
 			t.Fatalf("%s: /v1/sweep differs from Planner.SweepWidths bytes", c.name)
 		}
 		code, got = doJSON(t, client, "POST", ts.URL+"/v1/effective",
-			map[string]any{"soc": c.name, "widthLo": c.lo, "widthHi": c.hi, "gamma": c.gamma})
+			map[string]any{"soc": c.name, "params": map[string]any{"widthLo": c.lo, "widthHi": c.hi, "gamma": c.gamma}})
 		if code != http.StatusOK {
 			t.Fatalf("%s effective: HTTP %d: %s", c.name, code, got)
 		}
@@ -218,13 +218,13 @@ func TestServiceAsyncSweepJob(t *testing.T) {
 	client := ts.Client()
 
 	code, sync := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-		map[string]any{"soc": "demo8", "widthLo": 8, "widthHi": 20, "wait": true})
+		map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 8, "widthHi": 20}, "wait": true})
 	if code != http.StatusOK {
 		t.Fatalf("sync sweep: HTTP %d: %s", code, sync)
 	}
 
 	code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-		map[string]any{"soc": "demo8", "widthLo": 8, "widthHi": 20})
+		map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 8, "widthHi": 20}})
 	if code != http.StatusAccepted {
 		t.Fatalf("async sweep: HTTP %d: %s", code, body)
 	}
@@ -283,7 +283,7 @@ func TestServiceCancelSweepJob(t *testing.T) {
 	// The full 4..80 sweep of the largest benchmark SOC takes on the order
 	// of seconds — far longer than the cancellation window asserted below.
 	code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-		map[string]any{"soc": "p93791like", "widthLo": 4, "widthHi": 80, "workers": 2})
+		map[string]any{"soc": "p93791like", "params": map[string]any{"widthLo": 4, "widthHi": 80, "workers": 2}})
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d: %s", code, body)
 	}
@@ -465,8 +465,8 @@ func TestServiceErrors(t *testing.T) {
 		{"best field on /v1/schedule", "POST", "/v1/schedule", map[string]any{"soc": "demo8", "params": ParamsJSON{TAMWidth: 16}, "best": true}, http.StatusBadRequest},
 		{"unknown job", "GET", "/v1/jobs/job-999999", nil, http.StatusNotFound},
 		{"cancel unknown job", "POST", "/v1/jobs/job-999999/cancel", nil, http.StatusNotFound},
-		{"bad gamma", "POST", "/v1/effective", map[string]any{"soc": "demo8", "widthLo": 8, "widthHi": 12, "gamma": 1.5}, http.StatusUnprocessableEntity},
-		{"bad sweep range", "POST", "/v1/sweep", map[string]any{"soc": "demo8", "widthLo": 9, "widthHi": 3, "wait": true}, http.StatusUnprocessableEntity},
+		{"bad gamma", "POST", "/v1/effective", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 8, "widthHi": 12, "gamma": 1.5}}, http.StatusUnprocessableEntity},
+		{"bad sweep range", "POST", "/v1/sweep", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 9, "widthHi": 3}, "wait": true}, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		code, body := doJSON(t, client, tc.method, ts.URL+tc.path, tc.body)
@@ -474,10 +474,10 @@ func TestServiceErrors(t *testing.T) {
 			t.Fatalf("%s: HTTP %d (want %d): %s", tc.name, code, tc.want, body)
 		}
 		var envelope struct {
-			Error string `json:"error"`
+			Error ErrorBody `json:"error"`
 		}
-		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == "" {
-			t.Fatalf("%s: error body %q is not an error envelope", tc.name, body)
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code == "" || envelope.Error.Message == "" {
+			t.Fatalf("%s: error body %q is not a {code,message} error envelope", tc.name, body)
 		}
 	}
 
@@ -532,10 +532,10 @@ func TestServiceSweepRangeCap(t *testing.T) {
 		path string
 		body map[string]any
 	}{
-		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 2_000_000_000, "wait": true}},
-		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": MaxRequestWidth + 1}},
-		{"/v1/sweep", map[string]any{"soc": "demo8", "widthLo": -5, "widthHi": 8, "wait": true}},
-		{"/v1/effective", map[string]any{"soc": "demo8", "widthLo": 1, "widthHi": 2_000_000_000}},
+		{"/v1/sweep", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 2_000_000_000}, "wait": true}},
+		{"/v1/sweep", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": MaxRequestWidth + 1}}},
+		{"/v1/sweep", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": -5, "widthHi": 8}, "wait": true}},
+		{"/v1/effective", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 2_000_000_000}}},
 		{"/v1/schedule", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 2_000_000_000}}},
 		{"/v1/schedule/best", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 16, "maxWidth": MaxRequestWidth + 1}}},
 		{"/v1/gantt", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": -3}}},
@@ -548,7 +548,7 @@ func TestServiceSweepRangeCap(t *testing.T) {
 
 	// In-range requests still work, including the zero-value defaults.
 	code, body := doJSON(t, client, "POST", ts.URL+"/v1/sweep",
-		map[string]any{"soc": "demo8", "widthLo": 8, "widthHi": 12, "wait": true})
+		map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 8, "widthHi": 12}, "wait": true})
 	if code != http.StatusOK {
 		t.Errorf("in-range sweep: HTTP %d: %s", code, body)
 	}
