@@ -18,9 +18,11 @@ import (
 	"repro/internal/wrapper"
 	"repro/internal/wrapperrtl"
 
-	// Register the rectangle bin-packing backend: every consumer of this
-	// package (the CLIs, the service, the examples) schedules with the
-	// full backend registry — classic, rectpack, and portfolio.
+	// Register the search backends: every consumer of this package (the
+	// CLIs, the service, the examples) schedules with the full backend
+	// registry — classic, rectpack, preempt-rectpack, anneal, and
+	// portfolio.
+	_ "repro/internal/anneal"
 	_ "repro/internal/rectpack"
 )
 

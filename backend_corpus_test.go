@@ -1,19 +1,27 @@
 package repro_test
 
 // The corpus-wide backend invariant suite: every scenario in
-// internal/corpus is scheduled by every registered backend, and every
-// resulting schedule must pass sched.CheckInvariants (no TAM-wire overlap,
-// power budget never exceeded, precedence and mutual-exclusion edges
-// honored, every core tested exactly once) and the full timing-model
-// Verify. The suite also pins the competitive acceptance bars: rectpack
-// ties or beats the classic grid-swept makespan on at least 5 scenarios,
-// and the portfolio is never worse than the best single backend.
+// internal/corpus is scheduled by every registered backend that accepts
+// its parameters, and every resulting schedule must pass
+// sched.CheckInvariants (no TAM-wire overlap, power budget never
+// exceeded, precedence and mutual-exclusion edges honored, every core
+// tested exactly once, split tests whole) and the full timing-model
+// Verify. A backend that declines a scenario's parameters (rectpack under
+// preemption budgets, preempt-rectpack without them) is skipped — but the
+// suite checks the declared regimes really partition the corpus. The
+// suite also pins the competitive acceptance bars: rectpack ties or beats
+// the classic grid-swept makespan on at least 5 scenarios, the search
+// backends (preempt-rectpack or anneal) on strictly more than 14, anneal
+// is never worse than rectpack head-to-head, and the portfolio is never
+// worse than the best single backend.
 
 import (
 	"sync"
 	"testing"
 
+	"repro/internal/anneal"
 	"repro/internal/corpus"
+	"repro/internal/rectpack"
 	"repro/internal/sched"
 )
 
@@ -22,8 +30,8 @@ func TestCorpusBackendInvariants(t *testing.T) {
 		t.Skip("corpus backend replay skipped in -short mode")
 	}
 	backends := sched.Backends()
-	if len(backends) < 3 {
-		t.Fatalf("expected classic, portfolio and rectpack registered, have %v", backends)
+	if len(backends) < 5 {
+		t.Fatalf("expected classic, portfolio, rectpack, preempt-rectpack and anneal registered, have %v", backends)
 	}
 
 	type outcome struct {
@@ -34,14 +42,26 @@ func TestCorpusBackendInvariants(t *testing.T) {
 
 	scenarios := corpus.All()
 	// The per-scenario subtests run in parallel inside one group, so the
-	// aggregate bar below only runs once every outcome is in.
+	// aggregate bars below only run once every outcome is in.
 	t.Run("scenarios", func(t *testing.T) {
 		for _, sc := range scenarios {
 			t.Run(sc.Name, func(t *testing.T) {
 				t.Parallel()
 				out := &outcome{makespans: make(map[string]int64, len(backends))}
 				s := sc.Build()
+				params, err := sc.ResolveParams(s)
+				if err != nil {
+					t.Fatal(err)
+				}
 				for _, backend := range backends {
+					b, err := sched.BackendByName(backend)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if reason, declined := sched.BackendDeclines(b, params); declined {
+						t.Logf("backend %s declined: %s", backend, reason)
+						continue
+					}
 					sch, _, err := corpus.ReplaySchedule(sc, backend)
 					if err != nil {
 						t.Fatalf("backend %s: %v", backend, err)
@@ -54,14 +74,32 @@ func TestCorpusBackendInvariants(t *testing.T) {
 					}
 					out.makespans[backend] = sch.Makespan
 				}
-				best := out.makespans[backends[0]]
+				// The declared regimes partition the corpus: exactly one of
+				// rectpack / preempt-rectpack accepts any scenario, and
+				// classic, anneal and the portfolio accept everything.
+				for _, name := range []string{"classic", "anneal", "portfolio"} {
+					if _, ok := out.makespans[name]; !ok {
+						t.Errorf("backend %s declined scenario %s; it must accept everything", name, sc.Name)
+					}
+				}
+				_, rp := out.makespans[rectpack.Name]
+				_, pp := out.makespans[rectpack.PreemptName]
+				if rp == pp {
+					t.Errorf("scenario %s: rectpack accepted=%t preempt-rectpack accepted=%t; exactly one must serve it", sc.Name, rp, pp)
+				}
+				best := int64(-1)
 				for _, m := range out.makespans {
-					if m < best {
+					if best == -1 || m < best {
 						best = m
 					}
 				}
 				if p := out.makespans["portfolio"]; p > best {
 					t.Errorf("portfolio makespan %d worse than best single backend %d (%v)", p, best, out.makespans)
+				}
+				if a, ok := out.makespans[anneal.Name]; ok {
+					if r, ok := out.makespans[rectpack.Name]; ok && a > r {
+						t.Errorf("anneal makespan %d worse than rectpack %d: the seeds cover rectpack's portfolio", a, r)
+					}
 				}
 				mu.Lock()
 				results[sc.Name] = out
@@ -77,19 +115,50 @@ func TestCorpusBackendInvariants(t *testing.T) {
 		ties, wins := 0, 0
 		for _, sc := range scenarios {
 			out := results[sc.Name]
-			r, c := out.makespans["rectpack"], out.makespans["classic"]
+			r, ok := out.makespans[rectpack.Name]
+			if !ok {
+				continue // declined (preemption budgets)
+			}
+			c := out.makespans["classic"]
 			switch {
 			case r < c:
 				wins++
 			case r == c:
 				ties++
 			}
-			t.Logf("%-28s classic=%-9d rectpack=%-9d portfolio=%d", sc.Name,
-				out.makespans["classic"], out.makespans["rectpack"], out.makespans["portfolio"])
 		}
-		t.Logf("rectpack vs classic: %d wins, %d ties, %d losses", wins, ties, len(scenarios)-wins-ties)
+		t.Logf("rectpack vs classic: %d wins, %d ties", wins, ties)
 		if wins+ties < 5 {
 			t.Errorf("rectpack ties or beats classic on only %d scenarios, want >= 5", wins+ties)
+		}
+	})
+
+	// The search backends must beat the plain packer's historical record:
+	// preempt-rectpack or anneal ties or beats classic on strictly more
+	// scenarios than rectpack's 14-of-35 standing when they landed.
+	t.Run("search-competitive", func(t *testing.T) {
+		if len(results) != len(scenarios) {
+			t.Fatalf("only %d of %d scenarios produced outcomes", len(results), len(scenarios))
+		}
+		tiesOrBeats := func(name string) int {
+			n := 0
+			for _, sc := range scenarios {
+				out := results[sc.Name]
+				if m, ok := out.makespans[name]; ok && m <= out.makespans["classic"] {
+					n++
+				}
+			}
+			return n
+		}
+		pr, an := tiesOrBeats(rectpack.PreemptName), tiesOrBeats(anneal.Name)
+		for _, sc := range scenarios {
+			out := results[sc.Name]
+			t.Logf("%-28s classic=%-9d anneal=%-9d portfolio=%d", sc.Name,
+				out.makespans["classic"], out.makespans[anneal.Name], out.makespans["portfolio"])
+		}
+		t.Logf("ties-or-beats classic: preempt-rectpack %d, anneal %d (of %d)", pr, an, len(scenarios))
+		if pr <= 14 && an <= 14 {
+			t.Errorf("neither search backend clears the bar: preempt-rectpack %d, anneal %d ties-or-beats, want > 14", pr, an)
 		}
 	})
 }

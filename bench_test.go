@@ -221,8 +221,9 @@ func BenchmarkSweepBestD695(b *testing.B) {
 
 // benchScheduleBackend measures one full d695 W=32 run of a named backend
 // through the registry dispatch path — the same call ScheduleNamed and the
-// service layer make.
-func benchScheduleBackend(b *testing.B, backend string) {
+// service layer make. A non-zero preemptions budget (via
+// LargerCorePreemptions) keeps the preemptive backends from declining.
+func benchScheduleBackend(b *testing.B, backend string, preemptions int) {
 	s := bench.D695()
 	opt, err := sched.New(s, sched.DefaultMaxWidth)
 	if err != nil {
@@ -230,6 +231,13 @@ func benchScheduleBackend(b *testing.B, backend string) {
 	}
 	ctx := context.Background()
 	params := sched.Params{TAMWidth: 32, Workers: 1, Backend: backend}
+	if preemptions > 0 {
+		mp, err := opt.LargerCorePreemptions(preemptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params.MaxPreemptions = mp
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := opt.ScheduleBackend(ctx, params); err != nil {
@@ -239,11 +247,20 @@ func benchScheduleBackend(b *testing.B, backend string) {
 }
 
 // BenchmarkScheduleD695Rectpack tracks the rectangle bin-packing backend.
-func BenchmarkScheduleD695Rectpack(b *testing.B) { benchScheduleBackend(b, "rectpack") }
+func BenchmarkScheduleD695Rectpack(b *testing.B) { benchScheduleBackend(b, "rectpack", 0) }
+
+// BenchmarkScheduleD695PreemptRectpack tracks the splitting packer under a
+// two-segment budget on the larger cores (without one it declines).
+func BenchmarkScheduleD695PreemptRectpack(b *testing.B) {
+	benchScheduleBackend(b, "preempt-rectpack", 2)
+}
+
+// BenchmarkScheduleD695Anneal tracks the seeded annealing local search.
+func BenchmarkScheduleD695Anneal(b *testing.B) { benchScheduleBackend(b, "anneal", 0) }
 
 // BenchmarkScheduleD695Portfolio tracks the racing meta-backend (which
 // runs every other backend, so it bounds the whole registry's cost).
-func BenchmarkScheduleD695Portfolio(b *testing.B) { benchScheduleBackend(b, "portfolio") }
+func BenchmarkScheduleD695Portfolio(b *testing.B) { benchScheduleBackend(b, "portfolio", 0) }
 
 // BenchmarkParetoSets measures Pareto staircase construction for a full SOC.
 func BenchmarkParetoSets(b *testing.B) {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/corpus"
+	"repro/internal/rectpack"
 	"repro/internal/sched"
 	"repro/internal/schedio"
 	"repro/internal/service"
@@ -34,10 +35,25 @@ const (
 	chaosSiteClassic  = "sched/classic/schedule"
 	chaosSiteRacer    = "sched/portfolio/racer"
 	chaosSiteRectpack = "rectpack/schedule"
+	chaosSitePreempt  = "rectpack/preempt/schedule"
+	chaosSiteAnneal   = "anneal/schedule"
 	chaosSiteService  = "service/schedule"
 	chaosSiteJobsRun  = "service/jobs/run"
 	chaosSiteRegistry = "service/registry/build"
 )
+
+// killSearchBackends are the chaos rules that fail every search backend
+// (rectpack, preempt-rectpack, anneal), leaving classic the only live
+// racer. Equal-makespan ties break alphabetically — "anneal" sorts before
+// "classic" — so any test expecting classic's golden bytes must kill all
+// three, not just rectpack.
+func killSearchBackends(mode chaos.Mode) []chaos.Rule {
+	return []chaos.Rule{
+		{Site: chaosSiteRectpack, Mode: mode},
+		{Site: chaosSitePreempt, Mode: mode},
+		{Site: chaosSiteAnneal, Mode: mode},
+	}
+}
 
 // goldenSchedule reads the scenario's frozen schedule-layer bytes.
 func goldenSchedule(t *testing.T, sc corpus.Scenario) []byte {
@@ -85,19 +101,18 @@ func assertValid(t *testing.T, sc corpus.Scenario, sch *sched.Schedule) {
 	}
 }
 
-// TestChaosKillRectpackMatchesGolden kills the rectpack backend outright
-// and replays the whole corpus through the portfolio: classic survives,
-// so every scenario's schedule must be byte-identical to its frozen
-// golden (modulo the winner annotation the portfolio always stamps).
-func TestChaosKillRectpackMatchesGolden(t *testing.T) {
+// TestChaosKillSearchBackendsMatchesGolden kills every search backend
+// outright and replays the whole corpus through the portfolio: classic
+// survives, so every scenario's schedule must be byte-identical to its
+// frozen golden (modulo the winner annotation the portfolio always
+// stamps).
+func TestChaosKillSearchBackendsMatchesGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus chaos replay skipped in -short mode")
 	}
 	sched.ResetPortfolioHealth()
 	t.Cleanup(sched.ResetPortfolioHealth)
-	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
-		{Site: chaosSiteRectpack, Mode: chaos.ModeError},
-	}})
+	plan := chaos.Enable(chaos.Plan{Rules: killSearchBackends(chaos.ModeError)})
 	t.Cleanup(plan.Disable)
 
 	t.Run("scenarios", func(t *testing.T) {
@@ -106,11 +121,11 @@ func TestChaosKillRectpackMatchesGolden(t *testing.T) {
 				t.Parallel()
 				sch, got, err := corpus.ReplaySchedule(sc, "portfolio")
 				if err != nil {
-					t.Fatalf("portfolio with rectpack dead: %v", err)
+					t.Fatalf("portfolio with the search backends dead: %v", err)
 				}
 				assertValid(t, sc, sch)
 				if sch.Params.Backend != sched.DefaultBackend {
-					t.Fatalf("winner %q, want %q (rectpack is dead)", sch.Params.Backend, sched.DefaultBackend)
+					t.Fatalf("winner %q, want %q (the search backends are dead)", sch.Params.Backend, sched.DefaultBackend)
 				}
 				if sc.SingleRun {
 					// The portfolio races grid-swept racers only, so SingleRun
@@ -134,14 +149,18 @@ func TestChaosKillRectpackMatchesGolden(t *testing.T) {
 			})
 		}
 	})
-	if plan.Hits(chaosSiteRectpack) == 0 {
-		t.Error("rectpack failpoint never fired")
+	for _, site := range []string{chaosSiteRectpack, chaosSitePreempt, chaosSiteAnneal} {
+		if plan.Hits(site) == 0 {
+			t.Errorf("failpoint %s never fired", site)
+		}
 	}
 }
 
 // TestChaosKillClassicDegradesToRectpack kills the classic baseline and
-// replays the whole corpus: the portfolio must degrade to rectpack with
-// bytes identical to rectpack's own chaos-free replay, and classic —
+// the annealing search and replays the whole corpus: the portfolio must
+// degrade to the packing backend serving the scenario's regime — rectpack
+// without preemption budgets, preempt-rectpack with them — with bytes
+// identical to that backend's own chaos-free replay, and classic —
 // breaker-exempt by design — must never be quarantined.
 func TestChaosKillClassicDegradesToRectpack(t *testing.T) {
 	if testing.Short() {
@@ -151,6 +170,71 @@ func TestChaosKillClassicDegradesToRectpack(t *testing.T) {
 	t.Cleanup(sched.ResetPortfolioHealth)
 	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
 		{Site: chaosSiteClassic, Mode: chaos.ModeError},
+		{Site: chaosSiteAnneal, Mode: chaos.ModeError},
+	}})
+	t.Cleanup(plan.Disable)
+
+	t.Run("scenarios", func(t *testing.T) {
+		for _, sc := range corpus.All() {
+			t.Run(sc.Name, func(t *testing.T) {
+				t.Parallel()
+				s := sc.Build()
+				params, err := sc.ResolveParams(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				survivor := rectpack.Name
+				if _, declined := sched.BackendDeclines(rectpack.New(), params); declined {
+					survivor = rectpack.PreemptName
+				}
+				sch, got, err := corpus.ReplaySchedule(sc, "portfolio")
+				if err != nil {
+					t.Fatalf("portfolio with classic and anneal dead: %v", err)
+				}
+				assertValid(t, sc, sch)
+				if sch.Params.Backend != survivor {
+					t.Fatalf("winner %q, want %s (classic and anneal are dead)", sch.Params.Backend, survivor)
+				}
+				// The survivor's failpoint is not armed, so its direct replay
+				// is the chaos-free reference the portfolio must reproduce.
+				_, want, err := corpus.ReplaySchedule(sc, survivor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("schedule drifted from %s reference:\n%s", survivor, corpus.Diff(want, got))
+				}
+			})
+		}
+	})
+	stats := sched.PortfolioStats()
+	if got := stats[sched.DefaultBackend]; got.State != "exempt" || got.Quarantined != 0 {
+		t.Errorf("classic must never be quarantined: %+v", got)
+	}
+	if got := stats[rectpack.Name]; got.Won == 0 || got.State != "closed" {
+		t.Errorf("rectpack should be winning with a closed breaker: %+v", got)
+	}
+	if got := stats[rectpack.PreemptName]; got.Won == 0 {
+		t.Errorf("preempt-rectpack should win the budget-bearing scenarios: %+v", got)
+	}
+	if plan.Hits(chaosSiteClassic) == 0 {
+		t.Error("classic failpoint never fired")
+	}
+}
+
+// TestChaosKillAnnealDegradesCleanly kills only the annealing search and
+// replays the whole corpus through the portfolio: some other backend must
+// win every scenario with a schedule that is valid, byte-identical to the
+// winner's own chaos-free replay, and never worse than the classic
+// baseline — losing the strongest racer degrades quality, never safety.
+func TestChaosKillAnnealDegradesCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus chaos replay skipped in -short mode")
+	}
+	sched.ResetPortfolioHealth()
+	t.Cleanup(sched.ResetPortfolioHealth)
+	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
+		{Site: chaosSiteAnneal, Mode: chaos.ModeError},
 	}})
 	t.Cleanup(plan.Disable)
 
@@ -160,33 +244,37 @@ func TestChaosKillClassicDegradesToRectpack(t *testing.T) {
 				t.Parallel()
 				sch, got, err := corpus.ReplaySchedule(sc, "portfolio")
 				if err != nil {
-					t.Fatalf("portfolio with classic dead: %v", err)
+					t.Fatalf("portfolio with anneal dead: %v", err)
 				}
 				assertValid(t, sc, sch)
-				if sch.Params.Backend != "rectpack" {
-					t.Fatalf("winner %q, want rectpack (classic is dead)", sch.Params.Backend)
+				winner := sch.Params.Backend
+				if winner == "anneal" {
+					t.Fatalf("dead anneal won the race")
 				}
-				// The rectpack failpoint is not armed, so its direct replay is
-				// the chaos-free reference the portfolio must reproduce.
-				_, want, err := corpus.ReplaySchedule(sc, "rectpack")
+				classic, _, err := corpus.ReplaySchedule(sc, "")
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !bytes.Equal(got, want) {
-					t.Errorf("schedule drifted from rectpack reference:\n%s", corpus.Diff(want, got))
+				if sch.Makespan > classic.Makespan {
+					t.Errorf("portfolio makespan %d worse than classic %d with anneal dead", sch.Makespan, classic.Makespan)
+				}
+				if winner != sched.DefaultBackend {
+					_, want, err := corpus.ReplaySchedule(sc, winner)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("schedule drifted from %s reference:\n%s", winner, corpus.Diff(want, got))
+					}
 				}
 			})
 		}
 	})
-	stats := sched.PortfolioStats()
-	if got := stats[sched.DefaultBackend]; got.State != "exempt" || got.Quarantined != 0 {
-		t.Errorf("classic must never be quarantined: %+v", got)
+	if got := sched.PortfolioStats()["anneal"]; got.Failed == 0 {
+		t.Errorf("anneal's chaos kills should count as failures: %+v", got)
 	}
-	if got := stats["rectpack"]; got.Won == 0 || got.State != "closed" {
-		t.Errorf("rectpack should be winning with a closed breaker: %+v", got)
-	}
-	if plan.Hits(chaosSiteClassic) == 0 {
-		t.Error("classic failpoint never fired")
+	if plan.Hits(chaosSiteAnneal) == 0 {
+		t.Error("anneal failpoint never fired")
 	}
 }
 
@@ -242,8 +330,12 @@ func TestChaosSlowAndHungRectpackTimesOut(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			sched.ResetPortfolioHealth()
 			t.Cleanup(sched.ResetPortfolioHealth)
+			// Anneal is killed outright: it ties classic on this scenario and
+			// would win the alphabetical tie-break, hiding the timeout path
+			// under test.
 			plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
 				{Site: chaosSiteRectpack, Mode: tc.mode, Delay: time.Hour},
+				{Site: chaosSiteAnneal, Mode: chaos.ModeError},
 			}})
 			t.Cleanup(plan.Disable)
 
@@ -276,8 +368,11 @@ func TestChaosPanickingRectpackContained(t *testing.T) {
 	}
 	sched.ResetPortfolioHealth()
 	t.Cleanup(sched.ResetPortfolioHealth)
+	// Anneal dies plainly alongside: it ties classic here and would win
+	// the alphabetical tie-break otherwise.
 	plan := chaos.Enable(chaos.Plan{Rules: []chaos.Rule{
 		{Site: chaosSiteRectpack, Mode: chaos.ModePanic},
+		{Site: chaosSiteAnneal, Mode: chaos.ModeError},
 	}})
 	t.Cleanup(plan.Disable)
 
@@ -316,14 +411,25 @@ func TestChaosEveryFailpointFires(t *testing.T) {
 	if !ok {
 		t.Fatal("no corpus scenario toy4-w8")
 	}
-	// First replay: the racer failpoint kills the first racer before it
-	// reaches the classic failpoint; second replay: the racer rule is
-	// spent, so the classic failpoint fires instead and rectpack (its own
-	// rule also spent by now) carries the race.
-	for i := 0; i < 3 && (plan.FireCount(chaosSiteClassic) == 0 ||
-		plan.FireCount(chaosSiteRacer) == 0 || plan.FireCount(chaosSiteRectpack) == 0); i++ {
+	// Each replay spends one-shot rules racer by racer until every
+	// scheduling failpoint has fired; a replay where every racer eats a
+	// fault simply errors and the next one proceeds with the spent rules
+	// gone. The preempt-rectpack site needs a budget-bearing scenario —
+	// it declines everything else and a declined racer never runs.
+	for i := 0; i < 5 && (plan.FireCount(chaosSiteClassic) == 0 ||
+		plan.FireCount(chaosSiteRacer) == 0 || plan.FireCount(chaosSiteRectpack) == 0 ||
+		plan.FireCount(chaosSiteAnneal) == 0); i++ {
 		if _, _, err := corpus.ReplaySchedule(sc, "portfolio"); err != nil {
 			t.Logf("replay %d under full fault plan: %v", i, err)
+		}
+	}
+	scp, ok := corpus.ByName("demo8-w12-preempt1")
+	if !ok {
+		t.Fatal("no corpus scenario demo8-w12-preempt1")
+	}
+	for i := 0; i < 3 && plan.FireCount(chaosSitePreempt) == 0; i++ {
+		if _, _, err := corpus.ReplaySchedule(scp, "portfolio"); err != nil {
+			t.Logf("preempt replay %d under full fault plan: %v", i, err)
 		}
 	}
 

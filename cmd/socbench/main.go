@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	socbench -backends                # classic vs rectpack vs portfolio
+//	socbench -backends                # every registered backend head-to-head
 //	socbench -table 1                 # Table 1 for all four SOCs
 //	socbench -table 2 -soc d695       # Table 2 block for one SOC
 //	socbench -fig 1                   # Fig. 1 staircase (CSV)
@@ -42,15 +42,16 @@ import (
 	"repro/internal/service"
 	"repro/internal/soc"
 
-	// Register the rectangle bin-packing backend for the -backends
-	// comparison (and as a portfolio racer).
+	// Register the search backends for the -backends comparison (and as
+	// portfolio racers).
+	_ "repro/internal/anneal"
 	_ "repro/internal/rectpack"
 )
 
 func main() {
 	var (
 		table     = flag.String("table", "", "regenerate a table: 1 or 2")
-		backends  = flag.Bool("backends", false, "compare scheduler backends (classic vs rectpack vs portfolio) on the benchmark SOCs")
+		backends  = flag.Bool("backends", false, "compare every registered scheduler backend on the benchmark SOCs")
 		fig       = flag.String("fig", "", "regenerate a figure: 1, 9a, 9b, 9c, 9d")
 		ablation  = flag.String("ablation", "", "run an ablation: delta, baseline, heuristics")
 		socName   = flag.String("soc", "", "restrict to one SOC (default: all four)")
@@ -190,10 +191,16 @@ func runBenchJSON(path, note string) {
 			}
 		}},
 		{"ScheduleD695Rectpack", func(b *testing.B) {
-			benchBackend(b, "rectpack")
+			benchBackend(b, "rectpack", 0)
+		}},
+		{"ScheduleD695PreemptRectpack", func(b *testing.B) {
+			benchBackend(b, "preempt-rectpack", 2)
+		}},
+		{"ScheduleD695Anneal", func(b *testing.B) {
+			benchBackend(b, "anneal", 0)
 		}},
 		{"ScheduleD695Portfolio", func(b *testing.B) {
-			benchBackend(b, "portfolio")
+			benchBackend(b, "portfolio", 0)
 		}},
 		{"SingleScheduleP93791W48", func(b *testing.B) {
 			s := bench.P93791Like()
@@ -355,8 +362,9 @@ func postBatch(b *testing.B, ts *httptest.Server, body []byte) {
 
 // benchBackend times one d695 W=32 run of a named registered backend
 // through the registry dispatch path (Workers: 1, like every workload
-// here, so racing backends run their legs sequentially).
-func benchBackend(b *testing.B, backend string) {
+// here, so racing backends run their legs sequentially). A non-zero
+// preemptions budget keeps the preemptive backends from declining.
+func benchBackend(b *testing.B, backend string, preemptions int) {
 	s := bench.D695()
 	opt, err := sched.New(s, sched.DefaultMaxWidth)
 	if err != nil {
@@ -364,6 +372,13 @@ func benchBackend(b *testing.B, backend string) {
 	}
 	ctx := context.Background()
 	params := sched.Params{TAMWidth: 32, Workers: 1, Backend: backend}
+	if preemptions > 0 {
+		mp, err := opt.LargerCorePreemptions(preemptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params.MaxPreemptions = mp
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := opt.ScheduleBackend(ctx, params); err != nil {
@@ -410,9 +425,17 @@ func runBackends(socs []*soc.SOC, quick bool, workers int) {
 			winner := ""
 			var best int64
 			for _, n := range names {
+				params := sched.Params{TAMWidth: w, Workers: workers, Backend: n}
+				// A backend outside its regime (preempt-rectpack without
+				// budgets here) declines rather than competing.
+				if b, err := sched.BackendByName(n); err == nil {
+					if _, declined := sched.BackendDeclines(b, params); declined {
+						row = append(row, "declined", "-")
+						continue
+					}
+				}
 				start := time.Now()
-				sch, err := opt.ScheduleBackend(context.Background(),
-					sched.Params{TAMWidth: w, Workers: workers, Backend: n})
+				sch, err := opt.ScheduleBackend(context.Background(), params)
 				if err != nil {
 					fatal(err)
 				}

@@ -29,8 +29,9 @@ import (
 	"repro/internal/wrapper"
 	"repro/internal/wrapperrtl"
 
-	// Register the rectangle bin-packing backend for -backend rectpack
-	// (and as a portfolio racer).
+	// Register the search backends for -backend rectpack /
+	// preempt-rectpack / anneal (and as portfolio racers).
+	_ "repro/internal/anneal"
 	_ "repro/internal/rectpack"
 )
 

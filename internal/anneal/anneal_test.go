@@ -1,0 +1,194 @@
+package anneal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rectpack"
+	"repro/internal/sched"
+	"repro/internal/schedio"
+)
+
+func optimizer(t *testing.T, name string) *sched.Optimizer {
+	t.Helper()
+	s, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+func TestRegistered(t *testing.T) {
+	b, err := sched.BackendByName(Name)
+	if err != nil {
+		t.Fatalf("anneal not registered: %v", err)
+	}
+	if b.Name() != Name {
+		t.Fatalf("registered name %q, want %q", b.Name(), Name)
+	}
+}
+
+func TestScheduleVerifiesAcrossBenchmarks(t *testing.T) {
+	for _, name := range []string{"demo8", "d695"} {
+		opt := optimizer(t, name)
+		for _, w := range []int{8, 16, 32} {
+			sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: w})
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", name, w, err)
+			}
+			if err := opt.Verify(sch); err != nil {
+				t.Errorf("%s W=%d: verify: %v", name, w, err)
+			}
+			if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+				t.Errorf("%s W=%d: invariants: %v", name, w, err)
+			}
+		}
+	}
+}
+
+func TestScheduleHonorsPowerBudget(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	budget := sched.DefaultPowerBudget(opt.SOC(), 110)
+	sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 16, PowerMax: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+		t.Fatalf("power-constrained schedule: %v", err)
+	}
+}
+
+// TestSchedulePreemptive: under a preemption budget the split genes are
+// live; whatever the search finds must stay inside the budget and pass
+// the split-accounting invariants.
+func TestSchedulePreemptive(t *testing.T) {
+	opt := optimizer(t, "d695")
+	mp, err := opt.LargerCorePreemptions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 24, MaxPreemptions: mp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+		t.Fatalf("preemptive schedule: %v", err)
+	}
+	for id, a := range sch.Assignments {
+		if a.Preemptions > mp[id] {
+			t.Errorf("core %d: %d preemptions over budget %d", id, a.Preemptions, mp[id])
+		}
+	}
+}
+
+// TestScheduleSeedDeterministic: one seed is one byte stream; a second
+// seed is an independent but equally reproducible stream.
+func TestScheduleSeedDeterministic(t *testing.T) {
+	runBytes := func(seed int64) []byte {
+		opt := optimizer(t, "d695")
+		sch, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 32, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := schedio.Save(&buf, sch); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(runBytes(0), runBytes(0)) {
+		t.Fatal("zero seed not reproducible")
+	}
+	if !bytes.Equal(runBytes(7), runBytes(7)) {
+		t.Fatal("seed 7 not reproducible")
+	}
+}
+
+// TestScheduleNeverWorseThanRectpack: the seed genomes replicate
+// rectpack's whole deterministic portfolio through an equivalent decoder,
+// so the best-ever solution can never lose to rectpack head-to-head.
+func TestScheduleNeverWorseThanRectpack(t *testing.T) {
+	for _, w := range []int{16, 32} {
+		opt := optimizer(t, "d695")
+		a, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := rectpack.New().Schedule(context.Background(), opt, sched.Params{TAMWidth: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Makespan > r.Makespan {
+			t.Errorf("W=%d: anneal %d worse than rectpack %d", w, a.Makespan, r.Makespan)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	if _, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 0}); err == nil {
+		t.Error("TAMWidth 0 accepted")
+	}
+	if _, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: 16, MaxWidth: 999}); err == nil {
+		t.Error("MaxWidth above the optimizer cap accepted")
+	}
+}
+
+func TestScheduleCancelled(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Schedule(ctx, opt, sched.Params{TAMWidth: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled anneal returned %v, want context.Canceled", err)
+	}
+}
+
+func TestIterBudget(t *testing.T) {
+	if got := iterBudget(1); got != 3000 {
+		t.Errorf("iterBudget(1) = %d, want clamped to 3000", got)
+	}
+	if got := iterBudget(1000); got != 400 {
+		t.Errorf("iterBudget(1000) = %d, want clamped to 400", got)
+	}
+	if got := iterBudget(24); got != 1000 {
+		t.Errorf("iterBudget(24) = %d, want 1000", got)
+	}
+}
+
+// TestNeighborUndo: every neighbor move must be perfectly reversible —
+// the annealer relies on the undo closure to reject moves without
+// re-decoding from a fresh genome.
+func TestNeighborUndo(t *testing.T) {
+	opt := optimizer(t, "d695")
+	mp, err := opt.LargerCorePreemptions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sched.Params{TAMWidth: 24, MaxPreemptions: mp}.Defaults()
+	cores, _, err := buildCores(context.Background(), opt, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anyBudget := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(1))
+		for _, g := range seedGenomes(cores, params.TAMWidth) {
+			before := g.clone()
+			for i := 0; i < 50; i++ {
+				undo := neighbor(g, cores, params.TAMWidth, anyBudget, rng)
+				undo()
+				if !reflect.DeepEqual(g, before) {
+					t.Fatalf("anyBudget=%t move %d: undo did not restore the genome", anyBudget, i)
+				}
+			}
+		}
+	}
+}

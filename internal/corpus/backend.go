@@ -8,9 +8,10 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schedio"
 
-	// Register the rectangle bin-packing backend so per-backend replays
-	// (and the invariant suite built on them) always see the full registry,
+	// Register the search backends so per-backend replays (and the
+	// invariant suite built on them) always see the full registry,
 	// regardless of what else the test binary imports.
+	_ "repro/internal/anneal"
 	_ "repro/internal/rectpack"
 )
 

@@ -1,0 +1,192 @@
+package rectpack
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/schedio"
+)
+
+func preemptParams(t *testing.T, opt *sched.Optimizer, w, budget int) sched.Params {
+	t.Helper()
+	mp, err := opt.LargerCorePreemptions(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.Params{TAMWidth: w, MaxPreemptions: mp}
+}
+
+func TestPreemptRegistered(t *testing.T) {
+	b, err := sched.BackendByName(PreemptName)
+	if err != nil {
+		t.Fatalf("preempt-rectpack not registered: %v", err)
+	}
+	if b.Name() != PreemptName {
+		t.Fatalf("registered name %q, want %q", b.Name(), PreemptName)
+	}
+}
+
+// TestDeclinesPartition: rectpack and preempt-rectpack split the
+// parameter space exactly in two — budgets go to the splitter, their
+// absence to the plain packer, and never both.
+func TestDeclinesPartition(t *testing.T) {
+	opt := optimizer(t, "d695")
+	plain := sched.Params{TAMWidth: 32}
+	budget := preemptParams(t, opt, 32, 2)
+
+	if reason, declined := New().Declines(budget); !declined {
+		t.Error("rectpack accepted a preemption budget")
+	} else if reason == "" {
+		t.Error("rectpack declined without a reason")
+	}
+	if _, declined := New().Declines(plain); declined {
+		t.Error("rectpack declined a plain run")
+	}
+	if reason, declined := NewPreempt().Declines(plain); !declined {
+		t.Error("preempt-rectpack accepted a run with no budgets")
+	} else if reason == "" {
+		t.Error("preempt-rectpack declined without a reason")
+	}
+	if _, declined := NewPreempt().Declines(budget); declined {
+		t.Error("preempt-rectpack declined a preemption budget")
+	}
+	// An all-zero budget map is the same as no budgets.
+	if _, declined := NewPreempt().Declines(sched.Params{TAMWidth: 32, MaxPreemptions: map[int]int{1: 0}}); !declined {
+		t.Error("preempt-rectpack accepted an all-zero budget map")
+	}
+}
+
+func TestPreemptScheduleVerifies(t *testing.T) {
+	opt := optimizer(t, "d695")
+	for _, w := range []int{16, 24, 32} {
+		params := preemptParams(t, opt, w, 2)
+		sch, err := NewPreempt().Schedule(context.Background(), opt, params)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if err := opt.Verify(sch); err != nil {
+			t.Errorf("W=%d: verify: %v", w, err)
+		}
+		if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+			t.Errorf("W=%d: invariants: %v", w, err)
+		}
+		for id, a := range sch.Assignments {
+			if a.Preemptions > params.MaxPreemptions[id] {
+				t.Errorf("W=%d core %d: %d preemptions over budget %d", w, id, a.Preemptions, params.MaxPreemptions[id])
+			}
+		}
+	}
+}
+
+// TestPreemptNeverWorseThanRectpack: the splitter races every
+// non-preemptive strategy too, so splitting is only ever taken when it
+// helps.
+func TestPreemptNeverWorseThanRectpack(t *testing.T) {
+	opt := optimizer(t, "d695")
+	for _, w := range []int{16, 24} {
+		params := preemptParams(t, opt, w, 2)
+		p, err := NewPreempt().Schedule(context.Background(), opt, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New().Schedule(context.Background(), opt, sched.Params{TAMWidth: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Makespan > r.Makespan {
+			t.Errorf("W=%d: preempt-rectpack %d worse than rectpack %d", w, p.Makespan, r.Makespan)
+		}
+	}
+}
+
+// TestPreemptScheduleActuallySplits replays the corpus monster60 regime
+// (where the splitter beats classic by ~10%) and checks a split really
+// materializes: some core must carry a resumed segment, and the
+// preemptive emission path must place it on concrete wires.
+func TestPreemptScheduleActuallySplits(t *testing.T) {
+	s := bench.Synth(bench.SynthConfig{
+		Name: "monster60", Cores: 60, Seed: 114, HierarchyPct: 25,
+		PowerValues: true, PowerBudgetPct: 200,
+		ExtraPrecedences: 6, ExtraConcurrencies: 6,
+	})
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := sched.LargerCorePreemptions(s, sched.DefaultMaxWidth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewPreempt().Schedule(context.Background(), opt, sched.Params{TAMWidth: 64, Workers: 1, MaxPreemptions: mp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(s, sch); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	split := 0
+	for _, a := range sch.Assignments {
+		if a.Preemptions > 0 {
+			split++
+			if len(a.Pieces) != a.Preemptions+1 {
+				t.Errorf("core %d: %d pieces for %d preemptions", a.CoreID, len(a.Pieces), a.Preemptions)
+			}
+		}
+	}
+	if split == 0 {
+		t.Fatal("no core was split on the monster60 regime where splitting wins")
+	}
+}
+
+func TestPreemptScheduleDeterministic(t *testing.T) {
+	var outs [2][]byte
+	for i := range outs {
+		opt := optimizer(t, "d695")
+		sch, err := NewPreempt().Schedule(context.Background(), opt, preemptParams(t, opt, 24, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := schedio.Save(&buf, sch); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = buf.Bytes()
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("preempt-rectpack schedules differ across runs")
+	}
+}
+
+func TestPreemptScheduleHonorsPowerBudget(t *testing.T) {
+	opt := optimizer(t, "d695")
+	params := preemptParams(t, opt, 16, 2)
+	params.PowerMax = sched.DefaultPowerBudget(opt.SOC(), 110)
+	sch, err := NewPreempt().Schedule(context.Background(), opt, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(opt.SOC(), sch); err != nil {
+		t.Fatalf("power-constrained preemptive schedule: %v", err)
+	}
+}
+
+func TestPreemptScheduleErrors(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	if _, err := NewPreempt().Schedule(context.Background(), opt, sched.Params{TAMWidth: 0}); err == nil {
+		t.Error("TAMWidth 0 accepted")
+	}
+}
+
+func TestPreemptScheduleCancelled(t *testing.T) {
+	opt := optimizer(t, "demo8")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	params := preemptParams(t, opt, 16, 1)
+	if _, err := NewPreempt().Schedule(ctx, opt, params); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled preempt-rectpack returned %v, want context.Canceled", err)
+	}
+}

@@ -49,6 +49,27 @@ func New() *Backend { return &Backend{} }
 // Name returns "rectpack".
 func (*Backend) Name() string { return Name }
 
+// Declines reports the regime rectpack cannot honestly serve: non-zero
+// preemption budgets. Rectpack never splits a rectangle, so racing it
+// against a budget would silently return a non-preemptive schedule; the
+// preempt-rectpack backend covers that regime instead.
+func (*Backend) Declines(params sched.Params) (reason string, declined bool) {
+	if hasBudget(params.MaxPreemptions) {
+		return "preemption budgets are not supported (preempt-rectpack splits rectangles)", true
+	}
+	return "", false
+}
+
+// hasBudget reports whether any core has a non-zero preemption budget.
+func hasBudget(budgets map[int]int) bool {
+	for _, b := range budgets {
+		if b > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // strategy is one deterministic packing pass configuration.
 type strategy struct {
 	// order ranks unstarted cores; the packer starts the first eligible
@@ -91,38 +112,10 @@ func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched
 		return nil, err
 	}
 	params = params.Defaults()
-	if params.TAMWidth < 1 {
-		return nil, fmt.Errorf("rectpack: non-positive TAM width %d", params.TAMWidth)
-	}
-	if params.MaxWidth > opt.MaxWidth() {
-		return nil, fmt.Errorf("rectpack: params.MaxWidth %d exceeds optimizer cap %d", params.MaxWidth, opt.MaxWidth())
-	}
-	s := opt.SOC()
-	chk, err := constraint.New(s, constraint.Config{
-		PowerMax:        params.PowerMax,
-		IgnoreHierarchy: params.IgnoreHierarchy,
-	})
+	cores, chk, err := buildCores(ctx, opt, params)
 	if err != nil {
 		return nil, err
 	}
-	wmax := params.MaxWidth
-	if wmax > params.TAMWidth {
-		wmax = params.TAMWidth
-	}
-
-	cores := make([]*packCore, 0, len(s.Cores))
-	for _, c := range s.Cores {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		set, err := opt.ParetoSet(c.ID).Capped(wmax)
-		if err != nil {
-			return nil, err
-		}
-		pc := &packCore{id: c.ID, set: set, minAreaWidth: minAreaWidth(set)}
-		cores = append(cores, pc)
-	}
-	sort.Slice(cores, func(i, j int) bool { return cores[i].id < cores[j].id })
 
 	var best *result
 	var firstErr error
@@ -149,17 +142,74 @@ func (*Backend) Schedule(ctx context.Context, opt *sched.Optimizer, params sched
 	return emit(opt, params, best)
 }
 
+// buildCores validates the parameters and assembles the shared per-core
+// packing inputs: the capped Pareto sets plus the constraint checker. Both
+// the non-preemptive and the preemptive backend start here.
+func buildCores(ctx context.Context, opt *sched.Optimizer, params sched.Params) ([]*packCore, *constraint.Checker, error) {
+	if params.TAMWidth < 1 {
+		return nil, nil, fmt.Errorf("rectpack: non-positive TAM width %d", params.TAMWidth)
+	}
+	if params.MaxWidth > opt.MaxWidth() {
+		return nil, nil, fmt.Errorf("rectpack: params.MaxWidth %d exceeds optimizer cap %d", params.MaxWidth, opt.MaxWidth())
+	}
+	s := opt.SOC()
+	chk, err := constraint.New(s, constraint.Config{
+		PowerMax:        params.PowerMax,
+		IgnoreHierarchy: params.IgnoreHierarchy,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	wmax := params.MaxWidth
+	if wmax > params.TAMWidth {
+		wmax = params.TAMWidth
+	}
+	cores := make([]*packCore, 0, len(s.Cores))
+	for _, c := range s.Cores {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		set, err := opt.ParetoSet(c.ID).Capped(wmax)
+		if err != nil {
+			return nil, nil, err
+		}
+		pc := &packCore{id: c.ID, set: set, minAreaWidth: minAreaWidth(set)}
+		cores = append(cores, pc)
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i].id < cores[j].id })
+	return cores, chk, nil
+}
+
+// Core orderings shared by the non-preemptive, preemptive, and annealing
+// pass portfolios (decreasing size keys; stable sorts break ties toward
+// the lower core ID).
+func orderByTime(a, b *packCore) bool   { return a.set.MinTime() > b.set.MinTime() }
+func orderByArea(a, b *packCore) bool   { return a.set.MinArea() > b.set.MinArea() }
+func orderBySerial(a, b *packCore) bool { return a.set.Time(1) > b.set.Time(1) }
+func orderByWidth(a, b *packCore) bool {
+	if a.set.MaxParetoWidth() != b.set.MaxParetoWidth() {
+		return a.set.MaxParetoWidth() > b.set.MaxParetoWidth()
+	}
+	return a.set.MinTime() > b.set.MinTime()
+}
+
+// qualityFloor returns the smallest width whose time is within stretchPct%
+// of the core's best time: starting narrower than this is worse than
+// waiting.
+func qualityFloor(stretchPct int64) func(*packCore) int {
+	return func(c *packCore) int {
+		limit := c.set.MinTime() + c.set.MinTime()*stretchPct/100
+		for _, p := range c.set.Points {
+			if p.Time <= limit {
+				return p.Width
+			}
+		}
+		return c.set.MaxParetoWidth()
+	}
+}
+
 // strategies returns the deterministic pass portfolio, in tie-break order.
 func strategies() []strategy {
-	byTime := func(a, b *packCore) bool { return a.set.MinTime() > b.set.MinTime() }
-	byArea := func(a, b *packCore) bool { return a.set.MinArea() > b.set.MinArea() }
-	bySerial := func(a, b *packCore) bool { return a.set.Time(1) > b.set.Time(1) }
-	byWidth := func(a, b *packCore) bool {
-		if a.set.MaxParetoWidth() != b.set.MaxParetoWidth() {
-			return a.set.MaxParetoWidth() > b.set.MaxParetoWidth()
-		}
-		return a.set.MinTime() > b.set.MinTime()
-	}
 	full := func(c *packCore, w int) int { return w }
 	frac := func(den int) func(*packCore, int) int {
 		return func(c *packCore, w int) int {
@@ -172,29 +222,16 @@ func strategies() []strategy {
 	}
 	minArea := func(c *packCore, w int) int { return c.minAreaWidth }
 	anyWidth := func(c *packCore) int { return 0 }
-	quality := func(stretchPct int64) func(*packCore) int {
-		// Smallest width whose time is within stretchPct% of the core's
-		// best time: starting narrower than this is worse than waiting.
-		return func(c *packCore) int {
-			limit := c.set.MinTime() + c.set.MinTime()*stretchPct/100
-			for _, p := range c.set.Points {
-				if p.Time <= limit {
-					return p.Width
-				}
-			}
-			return c.set.MaxParetoWidth()
-		}
-	}
 
 	var out []strategy
-	for _, order := range []func(a, b *packCore) bool{byTime, byArea, bySerial, byWidth} {
+	for _, order := range []func(a, b *packCore) bool{orderByTime, orderByArea, orderBySerial, orderByWidth} {
 		for _, capFor := range []func(*packCore, int) int{full, frac(2), frac(3), frac(4), minArea} {
 			out = append(out, strategy{order: order, capFor: capFor, minFor: anyWidth})
 		}
 	}
-	for _, order := range []func(a, b *packCore) bool{byTime, byArea} {
+	for _, order := range []func(a, b *packCore) bool{orderByTime, orderByArea} {
 		for _, stretch := range []int64{25, 50, 100} {
-			out = append(out, strategy{order: order, capFor: full, minFor: quality(stretch)})
+			out = append(out, strategy{order: order, capFor: full, minFor: qualityFloor(stretch)})
 		}
 	}
 	return out

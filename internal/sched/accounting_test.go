@@ -1,0 +1,152 @@
+package sched
+
+// Race-accounting audit: one portfolio call contributes at most one
+// counter (Won / Lost / Failed / TimedOut / Declined / Quarantined) per
+// backend, so WinRate and the /v1/backends rows never double-count a
+// race. The table drives a switchable fake through every synthetic
+// outcome and checks both the fake's own row and the partition invariant
+// across the whole registry.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// acctFake is the switchable backend for accounting tests. Outside a
+// test it fails immediately, like the other registered fakes.
+var acctFake = struct {
+	once sync.Once
+	mode atomic.Value // "off" | "valid" | "fail" | "decline"
+}{}
+
+type acctBackend struct{}
+
+func (acctBackend) Name() string { return "test-accounting" }
+
+func (acctBackend) Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error) {
+	if mode, _ := acctFake.mode.Load().(string); mode == "valid" {
+		p := params
+		p.Backend = ""
+		return opt.SweepBestContext(ctx, p, nil, nil)
+	}
+	return nil, errors.New("test-accounting: injected failure")
+}
+
+func (acctBackend) Declines(params Params) (reason string, declined bool) {
+	if mode, _ := acctFake.mode.Load().(string); mode == "decline" {
+		return "synthetic decline", true
+	}
+	return "", false
+}
+
+func registerAcctFake() {
+	acctFake.once.Do(func() {
+		acctFake.mode.Store("off")
+		RegisterBackend(acctBackend{})
+	})
+}
+
+// counterSum is every per-race counter of one row; the partition
+// invariant says one portfolio call adds at most 1 to it per backend.
+func counterSum(s BackendRaceStats) int64 {
+	return s.Won + s.Lost + s.Failed + s.TimedOut + s.Declined + s.Quarantined
+}
+
+func TestPortfolioRaceAccounting(t *testing.T) {
+	registerAcctFake()
+	s := bench.Demo()
+	opt, err := New(s, DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	race := func(t *testing.T) {
+		t.Helper()
+		p := Params{TAMWidth: 16, Workers: 1, Backend: "portfolio"}
+		if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
+			t.Fatalf("portfolio: %v", err)
+		}
+	}
+
+	cases := []struct {
+		name  string
+		mode  string
+		races int
+		want  func(t *testing.T, st BackendRaceStats)
+	}{
+		{"lost races count Lost only", "valid", 2, func(t *testing.T, st BackendRaceStats) {
+			// The fake mirrors the classic sweep, so it never beats the
+			// winner: every race is a loss, nothing else.
+			if st.Lost != 2 || counterSum(st) != 2 {
+				t.Errorf("want Lost=2 and no other counters, got %+v", st)
+			}
+			if st.WinRate != 0 {
+				t.Errorf("winRate = %v, want 0 for an always-losing backend", st.WinRate)
+			}
+		}},
+		{"failures count Failed only", "fail", 2, func(t *testing.T, st BackendRaceStats) {
+			if st.Failed != 2 || counterSum(st) != 2 {
+				t.Errorf("want Failed=2 and no other counters, got %+v", st)
+			}
+		}},
+		{"declines count Declined only", "decline", 3, func(t *testing.T, st BackendRaceStats) {
+			if st.Declined != 3 || counterSum(st) != 3 {
+				t.Errorf("want Declined=3 and no other counters, got %+v", st)
+			}
+			if st.State != "closed" {
+				t.Errorf("declining is not failing: breaker state %q, want closed", st.State)
+			}
+		}},
+		{"quarantine counts the sat-out race once", "fail", DefaultBreakerThreshold + 1, func(t *testing.T, st BackendRaceStats) {
+			// The first threshold races fail and open the breaker; the final
+			// race is sat out entirely — one Quarantined, not a Failed plus
+			// a Quarantined.
+			if st.Failed != DefaultBreakerThreshold || st.Quarantined != 1 {
+				t.Errorf("want Failed=%d Quarantined=1, got %+v", DefaultBreakerThreshold, st)
+			}
+			if got, want := counterSum(st), int64(DefaultBreakerThreshold+1); got != want {
+				t.Errorf("counter sum %d over %d races: a race was double-counted (%+v)", got, want, st)
+			}
+			if st.State != "open" {
+				t.Errorf("breaker state %q, want open", st.State)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ResetPortfolioHealth()
+			t.Cleanup(ResetPortfolioHealth)
+			acctFake.mode.Store(tc.mode)
+			t.Cleanup(func() { acctFake.mode.Store("off") })
+			for i := 0; i < tc.races; i++ {
+				race(t)
+			}
+			stats := PortfolioStats()
+			tc.want(t, stats["test-accounting"])
+			// Partition invariant for every backend: n races contribute at
+			// most n counters — a racer cancelled after the race is decided
+			// stays uncounted, but no race is ever counted twice.
+			for name, st := range stats {
+				if got := counterSum(st); got > int64(tc.races) {
+					t.Errorf("backend %s: %d counters over %d races (%+v)", name, got, tc.races, st)
+				}
+			}
+		})
+	}
+
+	// Declining is also honest on direct dispatch: the typed error callers
+	// (and the service's 422 mapping) rely on.
+	t.Run("direct dispatch returns ErrBackendDeclined", func(t *testing.T) {
+		acctFake.mode.Store("decline")
+		t.Cleanup(func() { acctFake.mode.Store("off") })
+		p := Params{TAMWidth: 16, Backend: "test-accounting"}
+		_, err := opt.ScheduleBackend(context.Background(), p)
+		if !errors.Is(err, ErrBackendDeclined) {
+			t.Fatalf("err = %v, want ErrBackendDeclined", err)
+		}
+	})
+}

@@ -35,9 +35,39 @@ type Backend interface {
 	Schedule(ctx context.Context, opt *Optimizer, params Params) (*Schedule, error)
 }
 
+// Decliner is an optional Backend capability: a backend that cannot
+// honestly handle a parameter regime declines it up front instead of
+// silently returning a degraded schedule (rectpack, for example, declines
+// non-zero preemption budgets rather than ignoring them). The portfolio
+// skips decliners instead of racing them blind, and direct dispatch
+// through ScheduleBackend rejects the request with ErrBackendDeclined.
+// Backends without this capability never decline.
+type Decliner interface {
+	// Declines reports whether the backend declines params; when it does,
+	// reason says why in one human-readable sentence. Declines must be
+	// cheap, deterministic, and must not inspect the SOC — it is a
+	// capability statement about the parameters alone.
+	Declines(params Params) (reason string, declined bool)
+}
+
+// BackendDeclines reports b's decline verdict for params: the Decliner
+// verdict when b has the capability, never-declines otherwise.
+func BackendDeclines(b Backend, params Params) (reason string, declined bool) {
+	if d, ok := b.(Decliner); ok {
+		return d.Declines(params)
+	}
+	return "", false
+}
+
 // ErrUnknownBackend is wrapped by every unknown-backend-name error, so
 // callers (the HTTP service maps it to 422) test with errors.Is.
 var ErrUnknownBackend = errors.New("sched: unknown backend")
+
+// ErrBackendDeclined is wrapped by every directly-dispatched request a
+// backend declined (see Decliner); the HTTP service maps it to 422. The
+// portfolio never returns it for one declining racer — it races the
+// backends that accept instead.
+var ErrBackendDeclined = errors.New("sched: backend declined parameters")
 
 var (
 	backendMu  sync.RWMutex
@@ -106,6 +136,9 @@ func (o *Optimizer) ScheduleBackend(ctx context.Context, params Params) (*Schedu
 	if err != nil {
 		return nil, err
 	}
+	if reason, declined := BackendDeclines(b, params); declined {
+		return nil, fmt.Errorf("%w: %s: %s", ErrBackendDeclined, b.Name(), reason)
+	}
 	ctx, span := obs.Start(ctx, "backend/"+b.Name())
 	defer span.End()
 	start := time.Now()
@@ -159,7 +192,13 @@ type BackendRaceStats struct {
 	Failed int64 `json:"failed"`
 	// TimedOut counts races it exceeded BackendTimeout.
 	TimedOut int64 `json:"timedOut"`
-	// Quarantined counts races it was benched by its open breaker.
+	// Declined counts races it was skipped from after declining the
+	// parameters (see Decliner).
+	Declined int64 `json:"declined"`
+	// Quarantined counts races it sat out entirely with an open breaker.
+	// A benched backend re-raced by the degradation path is counted by
+	// that race's outcome instead, so one portfolio call contributes at
+	// most one counter per backend.
 	Quarantined int64 `json:"quarantined"`
 	// State is the breaker state ("closed", "open", "half-open"), or
 	// "exempt" for classic, which is never quarantined.
@@ -259,7 +298,10 @@ func (pb *portfolioBackend) healthFor(name string) *racerHealth {
 }
 
 // admit splits racers by breaker verdict. Classic (nil breaker) is always
-// admitted; benched racers get their quarantine counter bumped.
+// admitted. Quarantine counters are not bumped here: whether a benched
+// racer actually sits the race out is only known once the degradation
+// path has (or has not) re-raced it — Schedule calls markQuarantined for
+// the racers that truly never ran.
 func (pb *portfolioBackend) admit(racers []Backend) (admitted, benched []Backend) {
 	for _, b := range racers {
 		h := pb.healthFor(b.Name())
@@ -268,11 +310,22 @@ func (pb *portfolioBackend) admit(racers []Backend) (admitted, benched []Backend
 			continue
 		}
 		benched = append(benched, b)
-		pb.mu.Lock()
-		h.stats.Quarantined++
-		pb.mu.Unlock()
 	}
 	return admitted, benched
+}
+
+// markQuarantined bumps the quarantine counter for racers that sat out a
+// whole portfolio call behind an open breaker. Every racer already has a
+// health record (admit created it).
+func (pb *portfolioBackend) markQuarantined(benched []Backend) {
+	if len(benched) == 0 {
+		return
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	for _, b := range benched {
+		pb.health[b.Name()].stats.Quarantined++
+	}
 }
 
 // observe feeds one racer's outcome to its breaker and counters. Outcomes
@@ -420,6 +473,7 @@ func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params
 	}
 	names := Backends()
 	racers := make([]Backend, 0, len(names))
+	declined := 0
 	for _, name := range names {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -431,9 +485,22 @@ func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params
 		if err != nil {
 			return nil, err
 		}
+		if _, skip := BackendDeclines(b, params); skip {
+			// Honest capability reporting: a decliner is skipped, never
+			// raced blind — its schedule would silently ignore the regime.
+			h := pb.healthFor(name)
+			pb.mu.Lock()
+			h.stats.Declined++
+			pb.mu.Unlock()
+			declined++
+			continue
+		}
 		racers = append(racers, b)
 	}
 	if len(racers) == 0 {
+		if declined > 0 {
+			return nil, fmt.Errorf("sched: portfolio: every backend declined the parameters")
+		}
 		return nil, fmt.Errorf("sched: portfolio has no backends to race")
 	}
 	floor := optimalityFloor(opt, params)
@@ -442,6 +509,7 @@ func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params
 	defer span.End()
 	span.SetAttr("racers", len(admitted))
 	span.SetAttr("benched", len(benched))
+	span.SetAttr("declined", declined)
 	span.SetAttr("floor", floor)
 	best, raceErr := pb.race(ctx, opt, params, admitted, floor)
 	if err := ctx.Err(); err != nil {
@@ -450,13 +518,17 @@ func (pb *portfolioBackend) Schedule(ctx context.Context, opt *Optimizer, params
 	if best == nil && len(benched) > 0 {
 		// Graceful degradation: every admitted racer failed, so the benched
 		// ones are the only hope — better a quarantined backend's verified
-		// schedule than no schedule. A finisher here also closes its breaker.
+		// schedule than no schedule. A finisher here also closes its breaker,
+		// and the re-raced backends are counted by this race's outcome, not
+		// as quarantined.
 		if best, raceErr = pb.race(ctx, opt, params, benched, floor); best != nil {
 			return best, nil
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+	} else {
+		pb.markQuarantined(benched)
 	}
 	if best == nil {
 		if raceErr != nil {

@@ -21,10 +21,14 @@ func (p Params) CanonicalKey() string {
 	if IsDefaultBackend(backend) {
 		backend = DefaultBackend
 	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "w=%d|max=%d|pct=%d|delta=%d|power=%d|slack=%d|widen=%t|hier=%t|backend=%s|bt=%d|pre=",
+	fmt.Fprintf(&sb, "w=%d|max=%d|pct=%d|delta=%d|power=%d|slack=%d|widen=%t|hier=%t|backend=%s|bt=%d|seed=%d|pre=",
 		d.TAMWidth, d.MaxWidth, d.Percent, d.Delta, d.PowerMax, d.InsertSlack,
-		d.DisableWidening, d.IgnoreHierarchy, backend, int64(d.BackendTimeout))
+		d.DisableWidening, d.IgnoreHierarchy, backend, int64(d.BackendTimeout), seed)
 	if d.MaxPreemptions == nil {
 		sb.WriteString("nil")
 	} else {

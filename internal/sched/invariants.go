@@ -50,6 +50,9 @@ func unknownCore(s *soc.SOC, sch *Schedule) *UnknownCoreError {
 //     otherwise) and every core is tested exactly once: it has exactly one
 //     assignment, with at least one piece, and its pieces never overlap in
 //     time;
+//   - split tests are whole: a core's segment durations sum to its claimed
+//     BaseTime + PenaltyCycles and its resume gaps match Preemptions, so a
+//     preemptive schedule cannot drop cycles from a segment;
 //   - no TAM-wire overlap: each piece's wires are distinct and inside
 //     [0, TAMWidth), and no wire carries two pieces at the same instant;
 //   - the power budget is never exceeded at any instant;
@@ -128,6 +131,31 @@ func CheckInvariants(s *soc.SOC, sch *Schedule) error {
 				return fmt.Errorf("sched: core %d tested twice at once: [%d,%d) overlaps [%d,%d)",
 					c.ID, ivs[i].Start, ivs[i].End, ivs[i-1].Start, ivs[i-1].End)
 			}
+		}
+		// Split tests must still test the whole core: the segment durations
+		// sum to the assignment's own claim, BaseTime plus the preemption
+		// penalties, and every resume-after-gap is accounted for in
+		// Preemptions. A schedule that drops cycles from a segment (a test
+		// cut short) is rejected here, without consulting the timing model.
+		if a.Preemptions < 0 || a.PenaltyCycles < 0 {
+			return fmt.Errorf("sched: core %d has negative preemption accounting (%d preemptions, %d penalty cycles)",
+				c.ID, a.Preemptions, a.PenaltyCycles)
+		}
+		gaps := 0
+		var total int64
+		for i, iv := range ivs {
+			total += iv.End - iv.Start
+			if i > 0 && iv.Start > ivs[i-1].End {
+				gaps++
+			}
+		}
+		if gaps != a.Preemptions {
+			return fmt.Errorf("sched: core %d claims %d preemptions but its pieces show %d resume gaps",
+				c.ID, a.Preemptions, gaps)
+		}
+		if want := a.BaseTime + a.PenaltyCycles; total != want {
+			return fmt.Errorf("sched: core %d segments sum to %d cycles, want base %d + penalty %d = %d",
+				c.ID, total, a.BaseTime, a.PenaltyCycles, want)
 		}
 	}
 	wires := make([]int, 0, len(perWire))

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -162,5 +163,92 @@ func TestVerifyUnknownCoreTyped(t *testing.T) {
 		} else if uce.CoreID != 777 {
 			t.Errorf("UnknownCoreError.CoreID = %d, want 777", uce.CoreID)
 		}
+	}
+}
+
+// preemptiveSchedule builds a schedule with one genuinely split core for
+// the split-accounting mutation tests. The demo schedule is split by
+// hand — a successor-free core's piece is cut in half and the second
+// segment moved past the makespan, where it can overlap no wires, mutex
+// partner, or power peak — so the pre-mutation schedule still passes
+// CheckInvariants and each test mutates exactly one accounting fact.
+func preemptiveSchedule(t *testing.T) (*Schedule, *Optimizer, int) {
+	t.Helper()
+	sch, opt := demoSchedule(t)
+	hasSuccessor := make(map[int]bool)
+	for _, p := range opt.SOC().Precedences {
+		hasSuccessor[p.Before] = true
+	}
+	for id, a := range sch.Assignments {
+		if hasSuccessor[id] || len(a.Pieces) != 1 {
+			continue
+		}
+		p := a.Pieces[0]
+		if p.End-p.Start < 2 {
+			continue
+		}
+		mid := p.Start + (p.End-p.Start)/2
+		gap := sch.Makespan + 10
+		resumed := p
+		resumed.Start = mid + gap
+		resumed.End = p.End + gap
+		a.Pieces[0].End = mid
+		a.Pieces = append(a.Pieces, resumed)
+		a.Preemptions = 1
+		if err := CheckInvariants(opt.SOC(), sch); err != nil {
+			t.Fatalf("hand-split schedule must still be valid: %v", err)
+		}
+		return sch, opt, id
+	}
+	t.Fatal("no splittable core in the demo schedule")
+	return nil, nil, 0
+}
+
+// TestCheckInvariantsShortSegment is the regression test for split-test
+// wholeness: a preemptive schedule whose segment was cut short (its
+// durations no longer sum to BaseTime + PenaltyCycles) must be rejected —
+// a dropped cycle is an untested part of the core.
+func TestCheckInvariantsShortSegment(t *testing.T) {
+	sch, opt, id := preemptiveSchedule(t)
+	a := sch.Assignments[id]
+	last := &a.Pieces[len(a.Pieces)-1]
+	last.End-- // cut the final resumed segment one cycle short
+	err := CheckInvariants(opt.SOC(), sch)
+	if err == nil {
+		t.Fatal("schedule with a cut-short segment accepted")
+	}
+	if !strings.Contains(err.Error(), "segments sum to") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}
+
+// TestCheckInvariantsPreemptionCountMismatch: the claimed Preemptions must
+// match the resume gaps the pieces actually show.
+func TestCheckInvariantsPreemptionCountMismatch(t *testing.T) {
+	sch, opt, id := preemptiveSchedule(t)
+	sch.Assignments[id].Preemptions++
+	err := CheckInvariants(opt.SOC(), sch)
+	if err == nil {
+		t.Fatal("schedule with a preemption-count lie accepted")
+	}
+	if !strings.Contains(err.Error(), "resume gaps") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}
+
+// TestCheckInvariantsNegativeAccounting: negative preemption bookkeeping
+// is rejected before the sums are even formed.
+func TestCheckInvariantsNegativeAccounting(t *testing.T) {
+	sch, opt := demoSchedule(t)
+	for _, a := range sch.Assignments {
+		a.PenaltyCycles = -1
+		break
+	}
+	err := CheckInvariants(opt.SOC(), sch)
+	if err == nil {
+		t.Fatal("schedule with negative penalty cycles accepted")
+	}
+	if !strings.Contains(err.Error(), "negative preemption accounting") {
+		t.Fatalf("wrong rejection: %v", err)
 	}
 }

@@ -209,10 +209,11 @@ func TestPortfolioQuarantineAndGracefulDegradation(t *testing.T) {
 	if _, err := opt.ScheduleBackend(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
-	// Re-admitted: benched twice total (once pre-recovery, once entering
-	// the degraded race), never since.
-	if got := PortfolioStats()["test-flaky"].Quarantined; got != 2 {
-		t.Errorf("recovered backend benched again: quarantined = %d, want 2", got)
+	// Re-admitted: benched exactly once total (the pre-recovery race it
+	// truly sat out). The degraded race is counted by its outcome (Won),
+	// not as a quarantine — one portfolio call, one counter.
+	if got := PortfolioStats()["test-flaky"].Quarantined; got != 1 {
+		t.Errorf("recovered backend quarantine count = %d, want 1", got)
 	}
 }
 

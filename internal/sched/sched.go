@@ -84,7 +84,14 @@ type Params struct {
 	// deadline. Non-portfolio backends ignore it — callers wanting a
 	// whole-request deadline use the context instead.
 	BackendTimeout time.Duration
+	// Seed seeds randomized backends (anneal). The same seed always
+	// produces byte-identical schedules; zero means DefaultSeed.
+	// Deterministic backends (classic, rectpack) ignore it.
+	Seed int64
 }
+
+// DefaultSeed is the seed randomized backends use when Params.Seed is 0.
+const DefaultSeed = 1
 
 // Defaults fills unset fields with the paper's defaults.
 func (p Params) Defaults() Params {

@@ -45,6 +45,9 @@ type ParamsJSON struct {
 	InsertSlack int    `json:"insertSlack"`
 	MaxWidth    int    `json:"maxWidth"`
 	Backend     string `json:"backend,omitempty"`
+	// Seed records the randomized-backend seed (anneal); omitted when
+	// zero, so deterministic-backend files and goldens are unchanged.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // CoreJSON is one core's assignment.
@@ -79,6 +82,7 @@ func Save(w io.Writer, sch *sched.Schedule) error {
 			InsertSlack: sch.Params.InsertSlack,
 			MaxWidth:    sch.Params.MaxWidth,
 			Backend:     sch.Params.Backend,
+			Seed:        sch.Params.Seed,
 		},
 		Makespan:   sch.Makespan,
 		DataVolume: sch.DataVolume(),
@@ -157,6 +161,7 @@ func Load(r io.Reader, s *soc.SOC) (*sched.Schedule, error) {
 			InsertSlack: f.Params.InsertSlack,
 			MaxWidth:    f.Params.MaxWidth,
 			Backend:     f.Params.Backend,
+			Seed:        f.Params.Seed,
 		},
 		Assignments: make(map[int]*sched.Assignment, len(f.Cores)),
 		Makespan:    f.Makespan,

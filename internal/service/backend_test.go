@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/sched"
 )
 
 func backendTestServer(t *testing.T) *httptest.Server {
@@ -44,7 +45,7 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.R
 
 func TestScheduleBackendSelection(t *testing.T) {
 	ts := backendTestServer(t)
-	for _, backend := range []string{"rectpack", "portfolio"} {
+	for _, backend := range []string{"rectpack", "anneal", "portfolio"} {
 		for _, path := range []string{"/v1/schedule", "/v1/schedule/best"} {
 			resp, raw := postJSON(t, ts, path, map[string]any{
 				"soc":    "d695",
@@ -104,6 +105,85 @@ func TestScheduleUnknownBackend422(t *testing.T) {
 			t.Errorf("%s: error body %s does not name the unknown backend", path, raw)
 		}
 	}
+}
+
+// TestScheduleAnnealSeedRoundTrip pins the seed knob on the wire: the
+// request's seed is echoed back in the schedule document, and the same
+// seed reproduces byte-identical responses (the anneal backend's
+// determinism contract, end to end).
+func TestScheduleAnnealSeedRoundTrip(t *testing.T) {
+	ts := backendTestServer(t)
+	body := map[string]any{
+		"soc":    "d695",
+		"params": ParamsJSON{TAMWidth: 32, Workers: 1, Backend: "anneal", Seed: 42},
+	}
+	resp, first := postJSON(t, ts, "/v1/schedule/best", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, first)
+	}
+	if !bytes.Contains(first, []byte(`"seed": 42`)) {
+		t.Fatalf("response does not record the seed: %s", first)
+	}
+	resp, again := postJSON(t, ts, "/v1/schedule/best", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: HTTP %d: %s", resp.StatusCode, again)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("same seed, different schedule bytes")
+	}
+}
+
+// TestSchedulePortfolioWithPreemptions: preemption budgets must not break
+// the portfolio — rectpack declines them, preempt-rectpack and anneal
+// serve them — and the decline is visible in /v1/backends.
+func TestSchedulePortfolioWithPreemptions(t *testing.T) {
+	sched.ResetPortfolioHealth()
+	t.Cleanup(sched.ResetPortfolioHealth)
+	ts := backendTestServer(t)
+	resp, raw := postJSON(t, ts, "/v1/schedule", map[string]any{
+		"soc": "d695",
+		"params": map[string]any{
+			"tamWidth": 32, "workers": 1, "backend": "portfolio",
+			"maxPreemptions": map[string]int{"2": 1},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"makespan"`)) {
+		t.Fatalf("no makespan in response: %s", raw)
+	}
+	resp, raw = doGet(t, ts, "/v1/backends")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/backends: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var br backendsResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range br.Backends {
+		if b.Name == "rectpack" {
+			if b.Race.Declined < 1 {
+				t.Fatalf("rectpack declined = %d, want >= 1: %s", b.Race.Declined, raw)
+			}
+			return
+		}
+	}
+	t.Fatalf("no rectpack row in /v1/backends: %s", raw)
+}
+
+func doGet(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
 }
 
 func TestScheduleUnknownPreemptionCore422(t *testing.T) {

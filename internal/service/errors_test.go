@@ -56,6 +56,12 @@ func TestErrorEnvelopeAllRoutes(t *testing.T) {
 		// 422 unknown_core: preemption budgets for cores the SOC lacks.
 		{"schedule bad preemption core", "POST", "/v1/schedule", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 16, "maxPreemptions": map[string]int{"999": 1}}}, http.StatusUnprocessableEntity, CodeUnknownCore},
 
+		// 422 backend_declined: a directly-named backend honestly refusing
+		// parameters outside its regime (rectpack under preemption budgets,
+		// preempt-rectpack without any).
+		{"schedule declined rectpack", "POST", "/v1/schedule", map[string]any{"soc": "demo8", "params": map[string]any{"tamWidth": 16, "backend": "rectpack", "maxPreemptions": map[string]int{"1": 1}}}, http.StatusUnprocessableEntity, CodeBackendDeclined},
+		{"best declined preempt-rectpack", "POST", "/v1/schedule/best", map[string]any{"soc": "demo8", "params": ParamsJSON{TAMWidth: 16, Backend: "preempt-rectpack"}}, http.StatusUnprocessableEntity, CodeBackendDeclined},
+
 		// 504 deadline: a 1ms budget on a full-range synchronous sweep.
 		{"sweep deadline", "POST", "/v1/sweep", map[string]any{"soc": "demo8", "params": map[string]any{"widthLo": 1, "widthHi": 1024, "timeoutMs": 1}, "wait": true}, http.StatusGatewayTimeout, CodeDeadline},
 	}

@@ -23,9 +23,12 @@ import (
 // schedules, widthLo/widthHi/gamma for sweeps and effective-width picks —
 // and ignores the rest; validation is identical everywhere. Zero-valued
 // fields take the library defaults, exactly as in the Go API. Backend
-// selects the scheduling backend ("classic", "rectpack", "portfolio";
-// empty = classic); unknown names are rejected with 422
-// (code "unknown_backend") before any scheduling work starts.
+// selects the scheduling backend ("classic", "rectpack",
+// "preempt-rectpack", "anneal", "portfolio"; empty = classic); unknown
+// names are rejected with 422 (code "unknown_backend") before any
+// scheduling work starts, and a backend that declines the parameters
+// (rectpack under preemption budgets, say) answers 422 with code
+// "backend_declined".
 type ParamsJSON struct {
 	TAMWidth        int         `json:"tamWidth,omitempty"`
 	MaxWidth        int         `json:"maxWidth,omitempty"`
@@ -53,6 +56,10 @@ type ParamsJSON struct {
 	// BackendTimeoutMS bounds each racer in a portfolio race (see
 	// Options.BackendTimeout); zero means no per-racer deadline.
 	BackendTimeoutMS int64 `json:"backendTimeoutMs,omitempty"`
+	// Seed seeds randomized backends (anneal): the same seed always
+	// produces byte-identical schedules. Zero means the library default;
+	// deterministic backends ignore it.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Options converts the wire params to library options. TimeoutMS is not an
@@ -73,6 +80,7 @@ func (p ParamsJSON) Options() repro.Options {
 		Workers:         p.Workers,
 		Backend:         p.Backend,
 		BackendTimeout:  time.Duration(p.BackendTimeoutMS) * time.Millisecond,
+		Seed:            p.Seed,
 	}
 }
 
@@ -193,6 +201,10 @@ const (
 	CodeNotFound = "not_found"
 	// CodeUnknownBackend: params.backend names no registered backend (422).
 	CodeUnknownBackend = "unknown_backend"
+	// CodeBackendDeclined: the named backend declines these parameters
+	// (it cannot honor them honestly); pick another backend or the
+	// portfolio (422).
+	CodeBackendDeclined = "backend_declined"
 	// CodeUnknownCore: a parameter references a core ID the SOC does not
 	// define (422).
 	CodeUnknownCore = "unknown_core"
@@ -236,6 +248,8 @@ func errorCode(status int, err error) string {
 	switch {
 	case errors.Is(err, sched.ErrUnknownBackend):
 		return CodeUnknownBackend
+	case errors.Is(err, sched.ErrBackendDeclined):
+		return CodeBackendDeclined
 	case errors.As(err, &uce):
 		return CodeUnknownCore
 	case errors.Is(err, ErrQueueWait):

@@ -1,0 +1,91 @@
+package repro_test
+
+// Determinism pinning for the seeded annealing backend: the same seed
+// must reproduce byte-identical schedio output run after run (the detseed
+// lint's contract, checked end-to-end here), a different seed must still
+// produce a valid schedule, and the zero seed must behave exactly like
+// sched.DefaultSeed.
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sched"
+	"repro/internal/schedio"
+)
+
+// annealBytes schedules one scenario with the anneal backend at the given
+// seed and returns the canonical schedio bytes.
+func annealBytes(t *testing.T, sc corpus.Scenario, seed int64) []byte {
+	t.Helper()
+	s := sc.Build()
+	params, err := sc.ResolveParams(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Backend = "anneal"
+	params.Seed = seed
+	opt, err := sched.New(s, sched.DefaultMaxWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := opt.ScheduleBackend(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckInvariants(s, sch); err != nil {
+		t.Fatalf("seed %d: invariants: %v", seed, err)
+	}
+	var buf bytes.Buffer
+	if err := schedio.Save(&buf, sch); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnnealSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal determinism replay skipped in -short mode")
+	}
+	// One plain, one power-constrained, one budget-bearing scenario: the
+	// splitting code paths must be as deterministic as the plain ones.
+	for _, name := range []string{"d695-w32", "demo8-w8-power105", "demo8-w12-preempt1"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := corpus.ByName(name)
+			if !ok {
+				t.Fatalf("no corpus scenario %q", name)
+			}
+			first := annealBytes(t, sc, 0)
+			if again := annealBytes(t, sc, 0); !bytes.Equal(first, again) {
+				t.Errorf("same (zero) seed, different bytes:\n%s", corpus.Diff(first, again))
+			}
+			// The zero seed is DefaultSeed, not a distinct stream — modulo
+			// the seed the file records.
+			asDefault := annealBytes(t, sc, sched.DefaultSeed)
+			if !bytes.Equal(normalizeSeed(t, first), normalizeSeed(t, asDefault)) {
+				t.Errorf("seed 0 and DefaultSeed diverged:\n%s", corpus.Diff(first, asDefault))
+			}
+			// A different seed is its own deterministic stream; its result
+			// may differ but must be equally reproducible (validity is
+			// checked inside annealBytes).
+			other := annealBytes(t, sc, 42)
+			if again := annealBytes(t, sc, 42); !bytes.Equal(other, again) {
+				t.Errorf("seed 42 not reproducible:\n%s", corpus.Diff(other, again))
+			}
+		})
+	}
+}
+
+// normalizeSeed strips the recorded seed field (and its leading comma)
+// from schedio bytes, so schedules that differ only in the seed
+// annotation compare equal.
+var seedField = regexp.MustCompile(`,\n\s*"seed": \d+`)
+
+func normalizeSeed(t *testing.T, b []byte) []byte {
+	t.Helper()
+	return seedField.ReplaceAll(b, nil)
+}
